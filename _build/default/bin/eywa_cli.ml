@@ -1,0 +1,263 @@
+(* The eywa command-line interface.
+
+   eywa models                 list the Table 2 models
+   eywa prompt MODEL           print the generated LLM prompts
+   eywa run MODEL              synthesize and print test cases
+   eywa difftest MODEL         run differential testing and triage
+   eywa bugs                   print the known-bug catalog (Table 3 rows) *)
+
+open Cmdliner
+
+module Model_def = Eywa_models.Model_def
+module All = Eywa_models.All_models
+module Difftest = Eywa_difftest.Difftest
+
+let oracle = Eywa_llm.Gpt.oracle ()
+
+let find_model id =
+  match All.find (String.uppercase_ascii id) with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Printf.sprintf "unknown model %S; available: %s" id
+           (String.concat ", " (List.map (fun (m : Model_def.t) -> m.id) All.all)))
+
+(* ----- arguments ----- *)
+
+let model_arg =
+  let doc = "Model name from Table 2 (e.g. DNAME, RMAP-PL, SERVER)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+
+let k_arg =
+  let doc = "Number of model implementations to draw from the LLM." in
+  Arg.(value & opt int 10 & info [ "k" ] ~docv:"K" ~doc)
+
+let temperature_arg =
+  let doc = "Sampling temperature (0.0 - 1.0)." in
+  Arg.(value & opt float 0.6 & info [ "temperature"; "t" ] ~docv:"TAU" ~doc)
+
+let seed_arg =
+  let doc = "Base random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let timeout_arg =
+  let doc = "Symbolic-execution timeout per model, in seconds." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let limit_arg =
+  let doc = "Print at most this many tests." in
+  Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N" ~doc)
+
+let save_arg =
+  let doc = "Also save the generated suite to this file." in
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc)
+
+let suite_arg =
+  let doc = "Saved test-suite file (from 'eywa run --save')." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"SUITE" ~doc)
+
+let version_arg =
+  let doc = "DNS implementation versions to test: old or current." in
+  Arg.(value & opt (enum [ ("old", Eywa_dns.Impls.Old);
+                           ("current", Eywa_dns.Impls.Current) ])
+         Eywa_dns.Impls.Old
+       & info [ "versions" ] ~docv:"VERSIONS" ~doc)
+
+(* ----- commands ----- *)
+
+let models_cmd =
+  let run () =
+    Printf.printf "%-10s %-11s %-9s %s\n" "Protocol" "Model" "Spec LoC" "Entry module";
+    List.iter
+      (fun (m : Model_def.t) ->
+        Printf.printf "%-10s %-11s %-9d %s\n" m.protocol m.id m.spec_loc
+          (Eywa_core.Emodule.name m.main))
+      All.all;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List the available protocol models.")
+    Term.(ret (const run $ const ()))
+
+let prompt_cmd =
+  let run id =
+    match find_model id with
+    | Error e -> `Error (false, e)
+    | Ok m -> (
+        match Eywa_core.Graph.synthesis_order m.graph ~main:m.main with
+        | Error e -> `Error (false, e)
+        | Ok order ->
+            List.iter
+              (fun em ->
+                match em with
+                | Eywa_core.Emodule.Func f ->
+                    let p = Eywa_core.Prompt.for_module m.graph f in
+                    Printf.printf "=== prompt for %s ===\n%s\n\n" f.name
+                      p.Eywa_core.Prompt.user
+                | Eywa_core.Emodule.Regex _ | Eywa_core.Emodule.Custom _ -> ())
+              order;
+            `Ok ())
+  in
+  Cmd.v (Cmd.info "prompt" ~doc:"Print the LLM prompts a model generates.")
+    Term.(ret (const run $ model_arg))
+
+let run_cmd =
+  let run id k temperature seed timeout limit save =
+    match find_model id with
+    | Error e -> `Error (false, e)
+    | Ok m -> (
+        match Model_def.synthesize ~k ~temperature ~seed ?timeout ~oracle m with
+        | Error e -> `Error (false, e)
+        | Ok s ->
+            Printf.printf
+              "%s: %d unique tests, generated LoC %d/%d, %d/%d models compiled\n"
+              m.id
+              (List.length s.unique_tests)
+              s.loc_min s.loc_max (List.length s.programs) k;
+            List.iteri
+              (fun i t ->
+                if i < limit then
+                  print_endline ("  " ^ Eywa_core.Testcase.to_string t))
+              s.unique_tests;
+            if List.length s.unique_tests > limit then
+              Printf.printf "  ... (%d more)\n"
+                (List.length s.unique_tests - limit);
+            (match save with
+            | Some path ->
+                Eywa_core.Serialize.save path s.unique_tests;
+                Printf.printf "saved %d tests to %s\n"
+                  (List.length s.unique_tests) path
+            | None -> ());
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Synthesize a model and print its generated tests.")
+    Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
+               $ timeout_arg $ limit_arg $ save_arg))
+
+let replay_cmd =
+  let run id suite version =
+    match find_model id with
+    | Error e -> `Error (false, e)
+    | Ok m -> (
+        match Eywa_core.Serialize.load suite with
+        | Error e -> `Error (false, e)
+        | Ok tests ->
+            Printf.printf "loaded %d tests from %s\n" (List.length tests) suite;
+            (match m.protocol with
+            | "DNS" ->
+                let report =
+                  Eywa_models.Dns_adapter.run ~model_id:m.id ~version tests
+                in
+                Format.printf "%a" Difftest.pp_report report
+            | "BGP" ->
+                let report = Eywa_models.Bgp_adapter.run ~model_id:m.id tests in
+                Format.printf "%a" Difftest.pp_report report
+            | _ -> print_endline "replay currently supports DNS and BGP models");
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Differentially replay a saved test suite without re-synthesis.")
+    Term.(ret (const run $ model_arg $ suite_arg $ version_arg))
+
+let difftest_cmd =
+  let run id k temperature seed timeout version =
+    match find_model id with
+    | Error e -> `Error (false, e)
+    | Ok m -> (
+        match Model_def.synthesize ~k ~temperature ~seed ?timeout ~oracle m with
+        | Error e -> `Error (false, e)
+        | Ok s ->
+            Printf.printf "%s: %d unique tests\n" m.id (List.length s.unique_tests);
+            let report, causes =
+              match m.protocol with
+              | "DNS" ->
+                  ( Eywa_models.Dns_adapter.run ~model_id:m.id ~version
+                      s.unique_tests,
+                    List.map
+                      (fun (impl, q) ->
+                        (impl, Eywa_dns.Lookup.quirk_to_string q))
+                      (Eywa_models.Dns_adapter.quirks_triggered ~version
+                         ~model_ids_and_tests:[ (m.id, s.unique_tests) ]) )
+              | "BGP" ->
+                  ( Eywa_models.Bgp_adapter.run ~model_id:m.id s.unique_tests,
+                    List.map
+                      (fun (impl, q) -> (impl, Eywa_bgp.Quirks.to_string q))
+                      (Eywa_models.Bgp_adapter.quirks_triggered
+                         ~model_ids_and_tests:[ (m.id, s.unique_tests) ]) )
+              | _ -> (
+                  match Eywa_models.Smtp_adapter.state_graph_for s with
+                  | Error e -> failwith e
+                  | Ok graph ->
+                      ( Eywa_models.Smtp_adapter.run ~graph s.unique_tests,
+                        List.map
+                          (fun (impl, _) -> (impl, "accept-mail-without-helo"))
+                          (Eywa_models.Smtp_adapter.quirks_triggered ~graph
+                             s.unique_tests) ))
+            in
+            Format.printf "%a" Difftest.pp_report report;
+            print_endline "root causes:";
+            List.iter
+              (fun (impl, q) -> Printf.printf "  %-12s %s\n" impl q)
+              causes;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "difftest"
+       ~doc:"Synthesize a model and differentially test the implementations.")
+    Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
+               $ timeout_arg $ version_arg))
+
+let report_cmd =
+  let run id k temperature seed timeout version =
+    match find_model id with
+    | Error e -> `Error (false, e)
+    | Ok m ->
+        if m.protocol <> "DNS" then
+          `Error (false, "report currently supports DNS models")
+        else (
+          match Model_def.synthesize ~k ~temperature ~seed ?timeout ~oracle m with
+          | Error e -> `Error (false, e)
+          | Ok s ->
+              print_string
+                (Eywa_models.Report.dns ~model_id:m.id ~version s.unique_tests);
+              `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Synthesize a DNS model and print a filing-ready markdown bug report.")
+    Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
+               $ timeout_arg $ version_arg))
+
+let bugs_cmd =
+  let run () =
+    List.iter
+      (fun (impl, (b : Eywa_dns.Impls.bug)) ->
+        Printf.printf "DNS   %-12s %-55s %s\n" impl b.description
+          (if b.new_bug then "new" else "known"))
+      Eywa_dns.Impls.bug_catalog;
+    List.iter
+      (fun (impl, (b : Eywa_bgp.Impls.bug)) ->
+        Printf.printf "BGP   %-12s %-55s %s\n" impl b.description
+          (if b.new_bug then "new" else "known"))
+      Eywa_bgp.Impls.bug_catalog;
+    List.iter
+      (fun (impl, (b : Eywa_smtp.Impls.bug)) ->
+        Printf.printf "SMTP  %-12s %-55s %s\n" impl b.description
+          (if b.new_bug then "new" else "known"))
+      Eywa_smtp.Impls.bug_catalog;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "bugs" ~doc:"Print the Table 3 bug catalog.")
+    Term.(ret (const run $ const ()))
+
+let () =
+  let info =
+    Cmd.info "eywa" ~version:"1.0.0"
+      ~doc:"Model-based protocol testing with a simulated LLM oracle."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ models_cmd; prompt_cmd; run_cmd; replay_cmd; difftest_cmd;
+            report_cmd; bugs_cmd ]))

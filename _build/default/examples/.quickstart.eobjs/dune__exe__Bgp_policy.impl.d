@@ -1,0 +1,1 @@
+examples/bgp_policy.ml: Eywa_bgp Eywa_difftest Eywa_llm Eywa_models List Printf

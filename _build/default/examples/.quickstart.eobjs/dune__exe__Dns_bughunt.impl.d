@@ -1,0 +1,1 @@
+examples/dns_bughunt.ml: Eywa_core Eywa_difftest Eywa_dns Eywa_llm Eywa_models List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Emodule Etype Eywa_core Eywa_llm Graph List Printf Prompt Synthesis Testcase

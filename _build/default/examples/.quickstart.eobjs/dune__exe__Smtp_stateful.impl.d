@@ -1,0 +1,1 @@
+examples/smtp_stateful.ml: Eywa_core Eywa_difftest Eywa_llm Eywa_models Eywa_smtp Eywa_stategraph List Printf String

@@ -1,0 +1,1 @@
+examples/smtp_stateful.mli:

@@ -1,0 +1,1 @@
+examples/tcp_extension.ml: Eywa_difftest Eywa_llm Eywa_models Eywa_stategraph Eywa_tcp List Printf String

@@ -1,0 +1,1 @@
+examples/tcp_extension.mli:

@@ -1,0 +1,1 @@
+lib/bgp/aspath.ml: Format List String

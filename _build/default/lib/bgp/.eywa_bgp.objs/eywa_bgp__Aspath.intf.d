@@ -1,0 +1,1 @@
+lib/bgp/aspath.mli: Format

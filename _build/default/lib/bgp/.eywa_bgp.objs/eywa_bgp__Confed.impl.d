@@ -1,0 +1,1 @@
+lib/bgp/confed.ml: Aspath List Quirks

@@ -1,0 +1,1 @@
+lib/bgp/confed.mli: Aspath Quirks

@@ -1,0 +1,1 @@
+lib/bgp/impls.ml: List Quirks

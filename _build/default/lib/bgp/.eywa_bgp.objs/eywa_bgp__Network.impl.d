@@ -1,0 +1,1 @@
+lib/bgp/network.ml: Aspath Confed Hashtbl List Policy Prefix Quirks Reflect Route

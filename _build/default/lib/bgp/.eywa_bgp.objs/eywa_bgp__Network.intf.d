@@ -1,0 +1,1 @@
+lib/bgp/network.mli: Confed Policy Quirks Reflect Route

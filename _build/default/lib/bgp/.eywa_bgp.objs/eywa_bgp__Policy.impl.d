@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: Aspath List Prefix Quirks Route

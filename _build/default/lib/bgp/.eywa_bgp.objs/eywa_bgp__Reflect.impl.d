@@ -1,0 +1,1 @@
+lib/bgp/reflect.ml: List Route

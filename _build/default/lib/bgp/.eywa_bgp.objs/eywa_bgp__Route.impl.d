@@ -1,0 +1,1 @@
+lib/bgp/route.ml: Aspath Format Int32 List Prefix Printf String

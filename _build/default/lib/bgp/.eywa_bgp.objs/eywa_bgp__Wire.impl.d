@@ -1,0 +1,1 @@
+lib/bgp/wire.ml: Aspath Buffer Char Int32 List Prefix Printf Route String

@@ -1,0 +1,65 @@
+type segment =
+  | Seq of int list
+  | Set of int list
+  | Confed_seq of int list
+  | Confed_set of int list
+
+type t = segment list
+
+let empty = []
+
+let prepend asn = function
+  | Seq asns :: rest -> Seq (asn :: asns) :: rest
+  | path -> Seq [ asn ] :: path
+
+let prepend_confed asn = function
+  | Confed_seq asns :: rest -> Confed_seq (asn :: asns) :: rest
+  | path -> Confed_seq [ asn ] :: path
+
+let strip_confed path =
+  List.filter
+    (function Confed_seq _ | Confed_set _ -> false | Seq _ | Set _ -> true)
+    path
+
+let replace_as ~old_as ~new_as path =
+  let swap asns = List.map (fun a -> if a = old_as then new_as else a) asns in
+  List.map
+    (function
+      | Seq asns -> Seq (swap asns)
+      | Set asns -> Set (swap asns)
+      | Confed_seq asns -> Confed_seq (swap asns)
+      | Confed_set asns -> Confed_set (swap asns))
+    path
+
+let length path =
+  List.fold_left
+    (fun acc seg ->
+      match seg with
+      | Seq asns -> acc + List.length asns
+      | Set _ -> acc + 1
+      | Confed_seq _ | Confed_set _ -> acc)
+    0 path
+
+let contains asn path =
+  List.exists
+    (function
+      | Seq asns | Set asns | Confed_seq asns | Confed_set asns ->
+          List.mem asn asns)
+    path
+
+let has_confed_segments path =
+  List.exists
+    (function Confed_seq _ | Confed_set _ -> true | Seq _ | Set _ -> false)
+    path
+
+let equal a b = a = b
+
+let seg_to_string = function
+  | Seq asns -> String.concat " " (List.map string_of_int asns)
+  | Set asns -> "{" ^ String.concat "," (List.map string_of_int asns) ^ "}"
+  | Confed_seq asns -> "(" ^ String.concat " " (List.map string_of_int asns) ^ ")"
+  | Confed_set asns -> "[" ^ String.concat "," (List.map string_of_int asns) ^ "]"
+
+let to_string path = String.concat " " (List.map seg_to_string path)
+
+let pp ppf path = Format.fprintf ppf "%s" (to_string path)

@@ -1,0 +1,39 @@
+(** AS paths with confederation segments (RFC 5065). *)
+
+type segment =
+  | Seq of int list
+  | Set of int list
+  | Confed_seq of int list
+  | Confed_set of int list
+
+type t = segment list
+
+val empty : t
+
+val prepend : int -> t -> t
+(** Prepend an AS to the leading [Seq] segment (creating one if
+    needed); used when exporting over eBGP. *)
+
+val prepend_confed : int -> t -> t
+(** Prepend a sub-AS to the leading [Confed_seq] segment; used inside a
+    confederation. *)
+
+val strip_confed : t -> t
+(** Remove confederation segments — what a router must do before
+    announcing to a true external peer. *)
+
+val replace_as : old_as:int -> new_as:int -> t -> t
+(** The [neighbor ... local-as ... replace-as] transformation. *)
+
+val length : t -> int
+(** Path-selection length: [Seq] counts its ASes, [Set] counts 1,
+    confederation segments count 0. *)
+
+val contains : int -> t -> bool
+(** Loop detection. *)
+
+val has_confed_segments : t -> bool
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

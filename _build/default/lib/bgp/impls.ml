@@ -1,0 +1,54 @@
+type bug = {
+  quirk : Quirks.t;
+  description : string;
+  bug_type : string;
+  new_bug : bool;
+}
+
+type t = { name : string; bugs : bug list }
+
+let bug quirk description bug_type new_bug = { quirk; description; bug_type; new_bug }
+
+let all =
+  [
+    {
+      name = "frr";
+      bugs =
+        [
+          bug Quirks.Prefix_list_ge_match
+            "Prefix list matches mask greater than or equals." "Wrong Policy" false;
+          bug Quirks.Confed_sub_as_eq_peer
+            "Confederation sub AS equal to peer AS." "Wrong Policy" true;
+          bug Quirks.Replace_as_confed_broken
+            "Replace-AS not working with confederations." "Wrong Policy" true;
+        ];
+    };
+    {
+      name = "gobgp";
+      bugs =
+        [
+          bug Quirks.Prefix_set_zero_masklength
+            "Prefix set match with zero masklength but nonzero range."
+            "Wrong Policy" false;
+          bug Quirks.Confed_sub_as_eq_peer
+            "Confederation sub AS equal to peer AS." "Wrong Policy" true;
+        ];
+    };
+    {
+      name = "batfish";
+      bugs =
+        [
+          bug Quirks.Local_pref_not_reset_ebgp
+            "Local preference not reset for EBGP neighbor." "Wrong Policy" true;
+          bug Quirks.Confed_sub_as_eq_peer
+            "Confederation sub AS same as peer AS." "Wrong Policy" true;
+        ];
+    };
+  ]
+
+let find name = List.find_opt (fun impl -> impl.name = name) all
+
+let quirks impl = List.map (fun b -> b.quirk) impl.bugs
+
+let bug_catalog =
+  List.concat_map (fun impl -> List.map (fun b -> (impl.name, b)) impl.bugs) all

@@ -1,0 +1,17 @@
+(** The three BGP implementations of Table 1 (FRR, GoBGP, Batfish) as
+    quirk sets over the reference engine, with their Table 3 bug
+    catalog. *)
+
+type bug = {
+  quirk : Quirks.t;
+  description : string;
+  bug_type : string;
+  new_bug : bool;  (** not found by MESSI *)
+}
+
+type t = { name : string; bugs : bug list }
+
+val all : t list
+val find : string -> t option
+val quirks : t -> Quirks.t list
+val bug_catalog : (string * bug) list

@@ -1,0 +1,47 @@
+type t = { addr : int32; len : int }
+
+let mask len =
+  if len <= 0 then 0l
+  else if len >= 32 then 0xFFFFFFFFl
+  else Int32.shift_left 0xFFFFFFFFl (32 - len)
+
+let v addr len =
+  if len < 0 || len > 32 then invalid_arg "Prefix.v: length outside 0..32";
+  { addr = Int32.logand addr (mask len); len }
+
+let octets_to_addr a b c d =
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.logor
+       (Int32.shift_left (Int32.of_int b) 16)
+       (Int32.logor (Int32.shift_left (Int32.of_int c) 8) (Int32.of_int d)))
+
+let of_string s =
+  match String.split_on_char '/' s with
+  | [ addr; len ] -> (
+      match
+        ( String.split_on_char '.' addr |> List.map int_of_string_opt,
+          int_of_string_opt len )
+      with
+      | [ Some a; Some b; Some c; Some d ], Some len
+        when a land 0xff = a && b land 0xff = b && c land 0xff = c
+             && d land 0xff = d && len >= 0 && len <= 32 ->
+          Ok (v (octets_to_addr a b c d) len)
+      | _, _ -> Error (Printf.sprintf "malformed prefix %S" s))
+  | _ -> Error (Printf.sprintf "malformed prefix %S" s)
+
+let to_string t =
+  let byte i =
+    Int32.to_int (Int32.logand (Int32.shift_right_logical t.addr i) 0xFFl)
+  in
+  Printf.sprintf "%d.%d.%d.%d/%d" (byte 24) (byte 16) (byte 8) (byte 0) t.len
+
+let contains super sub =
+  super.len <= sub.len
+  && Int32.logand sub.addr (mask super.len) = super.addr
+
+let member t addr = Int32.logand addr (mask t.len) = t.addr
+
+let equal a b = a = b
+let compare = compare
+let pp ppf t = Format.fprintf ppf "%s" (to_string t)

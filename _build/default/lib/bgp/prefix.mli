@@ -1,0 +1,25 @@
+(** IPv4 prefixes. *)
+
+type t = private { addr : int32; len : int }
+
+val v : int32 -> int -> t
+(** Host bits are masked off. @raise Invalid_argument if [len] is
+    outside 0..32. *)
+
+val of_string : string -> (t, string) result
+(** ["10.0.0.0/8"]. *)
+
+val to_string : t -> string
+
+val mask : int -> int32
+(** Network mask for a prefix length. *)
+
+val contains : t -> t -> bool
+(** [contains super sub]: every address of [sub] is in [super] (and
+    [sub] is at least as long). *)
+
+val member : t -> int32 -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

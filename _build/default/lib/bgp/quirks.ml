@@ -1,0 +1,22 @@
+type t =
+  | Prefix_list_ge_match
+  | Prefix_set_zero_masklength
+  | Confed_sub_as_eq_peer
+  | Replace_as_confed_broken
+  | Local_pref_not_reset_ebgp
+
+let to_string = function
+  | Prefix_list_ge_match -> "prefix-list-ge-match"
+  | Prefix_set_zero_masklength -> "prefix-set-zero-masklength"
+  | Confed_sub_as_eq_peer -> "confed-sub-as-eq-peer"
+  | Replace_as_confed_broken -> "replace-as-confed-broken"
+  | Local_pref_not_reset_ebgp -> "local-pref-not-reset-ebgp"
+
+let all =
+  [
+    Prefix_list_ge_match;
+    Prefix_set_zero_masklength;
+    Confed_sub_as_eq_peer;
+    Replace_as_confed_broken;
+    Local_pref_not_reset_ebgp;
+  ]

@@ -1,0 +1,21 @@
+(** Implementation-specific BGP deviations (Table 3, BGP rows). *)
+
+type t =
+  | Prefix_list_ge_match
+      (** FRR: a prefix-list entry without le/ge matches mask lengths
+          greater than or equal to its own, not just equal *)
+  | Prefix_set_zero_masklength
+      (** GoBGP: an entry with mask length 0 but a non-zero le/ge range
+          matches nothing as intended, yet matches everything here *)
+  | Confed_sub_as_eq_peer
+      (** a true-external peer whose AS number equals the local sub-AS
+          is treated as intra-confederation (iBGP attempted) *)
+  | Replace_as_confed_broken
+      (** [local-as ... replace-as] silently ignored when
+          confederations are configured *)
+  | Local_pref_not_reset_ebgp
+      (** local preference is carried over an eBGP session instead of
+          being reset to the default *)
+
+val to_string : t -> string
+val all : t list

@@ -1,0 +1,45 @@
+type origin = Igp | Egp | Incomplete
+
+type t = {
+  prefix : Prefix.t;
+  next_hop : int32;
+  as_path : Aspath.t;
+  local_pref : int;
+  med : int;
+  origin : origin;
+  communities : (int * int) list;
+}
+
+let v ?(next_hop = 0l) ?(as_path = Aspath.empty) ?(local_pref = 100) ?(med = 0)
+    ?(origin = Igp) ?(communities = []) prefix =
+  { prefix; next_hop; as_path; local_pref; med; origin; communities }
+
+let origin_rank = function Igp -> 0 | Egp -> 1 | Incomplete -> 2
+
+let better a b =
+  if a.local_pref <> b.local_pref then a.local_pref > b.local_pref
+  else begin
+    let la = Aspath.length a.as_path and lb = Aspath.length b.as_path in
+    if la <> lb then la < lb
+    else if origin_rank a.origin <> origin_rank b.origin then
+      origin_rank a.origin < origin_rank b.origin
+    else if a.med <> b.med then a.med < b.med
+    else Int32.unsigned_compare a.next_hop b.next_hop < 0
+  end
+
+let equal a b = a = b
+
+let origin_to_string = function Igp -> "i" | Egp -> "e" | Incomplete -> "?"
+
+let to_string t =
+  Printf.sprintf "%s lp=%d med=%d %s path=[%s]%s"
+    (Prefix.to_string t.prefix) t.local_pref t.med (origin_to_string t.origin)
+    (Aspath.to_string t.as_path)
+    (match t.communities with
+    | [] -> ""
+    | cs ->
+        " comm="
+        ^ String.concat ","
+            (List.map (fun (a, b) -> Printf.sprintf "%d:%d" a b) cs))
+
+let pp ppf t = Format.fprintf ppf "%s" (to_string t)

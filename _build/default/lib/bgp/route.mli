@@ -1,0 +1,34 @@
+(** BGP route advertisements. *)
+
+type origin = Igp | Egp | Incomplete
+
+type t = {
+  prefix : Prefix.t;
+  next_hop : int32;
+  as_path : Aspath.t;
+  local_pref : int;
+  med : int;
+  origin : origin;
+  communities : (int * int) list;
+}
+
+val v :
+  ?next_hop:int32 ->
+  ?as_path:Aspath.t ->
+  ?local_pref:int ->
+  ?med:int ->
+  ?origin:origin ->
+  ?communities:(int * int) list ->
+  Prefix.t ->
+  t
+(** Defaults: next hop 0, empty path, local-pref 100, med 0, Igp, no
+    communities. *)
+
+val better : t -> t -> bool
+(** BGP decision process, abbreviated: higher local-pref, then shorter
+    AS path, then lower origin, then lower MED, then lower next hop.
+    [better a b] means [a] wins. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,268 @@
+type update = {
+  withdrawn : Prefix.t list;
+  route : Route.t option;
+  nlri : Prefix.t list;
+}
+
+(* ----- primitives ----- *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u16 buf v =
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf (v : int32) =
+  put_u8 buf (Int32.to_int (Int32.shift_right_logical v 24));
+  put_u8 buf (Int32.to_int (Int32.shift_right_logical v 16));
+  put_u8 buf (Int32.to_int (Int32.shift_right_logical v 8));
+  put_u8 buf (Int32.to_int v)
+
+(* prefixes are encoded as length byte + ceil(len/8) address bytes *)
+let put_prefix buf (p : Prefix.t) =
+  put_u8 buf p.Prefix.len;
+  let nbytes = (p.Prefix.len + 7) / 8 in
+  for i = 0 to nbytes - 1 do
+    put_u8 buf
+      (Int32.to_int
+         (Int32.logand
+            (Int32.shift_right_logical p.Prefix.addr (24 - (8 * i)))
+            0xFFl))
+  done
+
+(* ----- path attributes ----- *)
+
+let origin_to_int = function Route.Igp -> 0 | Route.Egp -> 1 | Route.Incomplete -> 2
+
+let origin_of_int = function
+  | 0 -> Route.Igp
+  | 1 -> Route.Egp
+  | _ -> Route.Incomplete
+
+let seg_type = function
+  | Aspath.Set _ -> 1
+  | Aspath.Seq _ -> 2
+  | Aspath.Confed_seq _ -> 3
+  | Aspath.Confed_set _ -> 4
+
+let seg_asns = function
+  | Aspath.Set asns | Aspath.Seq asns | Aspath.Confed_seq asns
+  | Aspath.Confed_set asns ->
+      asns
+
+let put_attr buf ~flags ~code body =
+  put_u8 buf flags;
+  put_u8 buf code;
+  let len = String.length body in
+  if flags land 0x10 <> 0 then put_u16 buf len
+  else begin
+    if len > 255 then invalid_arg "Wire.encode: attribute over 255 bytes";
+    put_u8 buf len
+  end;
+  Buffer.add_string buf body
+
+let well_known = 0x40 (* transitive *)
+let optional = 0xc0 (* optional transitive *)
+
+let aspath_body path =
+  let buf = Buffer.create 16 in
+  List.iter
+    (fun seg ->
+      let asns = seg_asns seg in
+      if List.length asns > 255 then invalid_arg "Wire.encode: segment over 255 ASes";
+      put_u8 buf (seg_type seg);
+      put_u8 buf (List.length asns);
+      List.iter
+        (fun asn ->
+          if asn < 0 || asn > 0xffff then
+            invalid_arg "Wire.encode: AS number outside 16 bits";
+          put_u16 buf asn)
+        asns)
+    path;
+  Buffer.contents buf
+
+let attributes_of_route (r : Route.t) =
+  let buf = Buffer.create 64 in
+  let b1 v = String.make 1 (Char.chr (v land 0xff)) in
+  let b4 (v : int32) =
+    let t = Buffer.create 4 in
+    put_u32 t v;
+    Buffer.contents t
+  in
+  put_attr buf ~flags:well_known ~code:1 (b1 (origin_to_int r.origin));
+  put_attr buf ~flags:well_known ~code:2 (aspath_body r.as_path);
+  put_attr buf ~flags:well_known ~code:3 (b4 r.next_hop);
+  put_attr buf ~flags:0x80 ~code:4 (b4 (Int32.of_int r.med));
+  put_attr buf ~flags:well_known ~code:5 (b4 (Int32.of_int r.local_pref));
+  if r.communities <> [] then begin
+    let t = Buffer.create 8 in
+    List.iter
+      (fun (hi, lo) ->
+        put_u16 t hi;
+        put_u16 t lo)
+      r.communities;
+    put_attr buf ~flags:optional ~code:8 (Buffer.contents t)
+  end;
+  Buffer.contents buf
+
+let encode u =
+  let body = Buffer.create 64 in
+  (* withdrawn routes *)
+  let withdrawn = Buffer.create 16 in
+  List.iter (put_prefix withdrawn) u.withdrawn;
+  put_u16 body (Buffer.length withdrawn);
+  Buffer.add_buffer body withdrawn;
+  (* path attributes *)
+  let attrs =
+    match u.route with Some r -> attributes_of_route r | None -> ""
+  in
+  put_u16 body (String.length attrs);
+  Buffer.add_string body attrs;
+  (* NLRI *)
+  (match u.route with
+  | Some r -> put_prefix body r.Route.prefix
+  | None -> ());
+  List.iter (put_prefix body) u.nlri;
+  (* header: 16-byte marker, length, type=2 (UPDATE) *)
+  let total = 19 + Buffer.length body in
+  let out = Buffer.create total in
+  for _ = 1 to 16 do
+    put_u8 out 0xff
+  done;
+  put_u16 out total;
+  put_u8 out 2;
+  Buffer.add_buffer out body;
+  Buffer.contents out
+
+let encode_route r = encode { withdrawn = []; route = Some r; nlri = [] }
+
+(* ----- decoding ----- *)
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+type cursor = { data : string; mutable pos : int; stop : int }
+
+let u8 c =
+  if c.pos >= c.stop then fail "truncated at %d" c.pos;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  let hi = u8 c in
+  (hi lsl 8) lor u8 c
+
+let u32 c =
+  let a = u8 c and b = u8 c and d = u8 c and e = u8 c in
+  Int32.logor
+    (Int32.shift_left (Int32.of_int a) 24)
+    (Int32.of_int ((b lsl 16) lor (d lsl 8) lor e))
+
+let prefix c =
+  let len = u8 c in
+  if len > 32 then fail "prefix length %d" len;
+  let nbytes = (len + 7) / 8 in
+  let addr = ref 0l in
+  for i = 0 to nbytes - 1 do
+    addr := Int32.logor !addr (Int32.shift_left (Int32.of_int (u8 c)) (24 - (8 * i)))
+  done;
+  Prefix.v !addr len
+
+let aspath_of c stop =
+  let segs = ref [] in
+  while c.pos < stop do
+    let t = u8 c in
+    let n = u8 c in
+    let asns = List.init n (fun _ -> u16 c) in
+    let seg =
+      match t with
+      | 1 -> Aspath.Set asns
+      | 2 -> Aspath.Seq asns
+      | 3 -> Aspath.Confed_seq asns
+      | 4 -> Aspath.Confed_set asns
+      | _ -> fail "unknown segment type %d" t
+    in
+    segs := seg :: !segs
+  done;
+  List.rev !segs
+
+let decode data =
+  match
+    if String.length data < 19 then fail "short message";
+    let c = { data; pos = 16; stop = String.length data } in
+    let total = u16 c in
+    if total <> String.length data then fail "length field mismatch";
+    let typ = u8 c in
+    if typ <> 2 then fail "not an UPDATE (type %d)" typ;
+    let wlen = u16 c in
+    let wstop = c.pos + wlen in
+    let withdrawn = ref [] in
+    while c.pos < wstop do
+      withdrawn := prefix c :: !withdrawn
+    done;
+    let alen = u16 c in
+    let astop = c.pos + alen in
+    let origin = ref Route.Igp in
+    let path = ref Aspath.empty in
+    let next_hop = ref 0l in
+    let med = ref 0 in
+    let local_pref = ref 100 in
+    let communities = ref [] in
+    let saw_attrs = alen > 0 in
+    while c.pos < astop do
+      let flags = u8 c in
+      let code = u8 c in
+      let len = if flags land 0x10 <> 0 then u16 c else u8 c in
+      let vstop = c.pos + len in
+      (match code with
+      | 1 -> origin := origin_of_int (u8 c)
+      | 2 -> path := aspath_of c vstop
+      | 3 -> next_hop := u32 c
+      | 4 -> med := Int32.to_int (u32 c)
+      | 5 -> local_pref := Int32.to_int (u32 c)
+      | 8 ->
+          while c.pos < vstop do
+            let hi = u16 c in
+            let lo = u16 c in
+            communities := !communities @ [ (hi, lo) ]
+          done
+      | _ -> () (* skip unknown attributes *));
+      c.pos <- vstop
+    done;
+    let nlri = ref [] in
+    while c.pos < c.stop do
+      nlri := prefix c :: !nlri
+    done;
+    let route =
+      match (saw_attrs, List.rev !nlri) with
+      | true, first :: rest ->
+          ignore rest;
+          Some
+            {
+              Route.prefix = first;
+              next_hop = !next_hop;
+              as_path = !path;
+              local_pref = !local_pref;
+              med = !med;
+              origin = !origin;
+              communities = !communities;
+            }
+      | _, _ -> None
+    in
+    let nlri_rest =
+      match List.rev !nlri with [] -> [] | _ :: rest -> rest
+    in
+    { withdrawn = List.rev !withdrawn;
+      route;
+      nlri = (if route = None then List.rev !nlri else nlri_rest) }
+  with
+  | u -> Ok u
+  | exception Malformed m -> Error m
+
+let decode_route data =
+  match decode data with
+  | Error m -> Error m
+  | Ok { route = Some r; _ } -> Ok r
+  | Ok { route = None; _ } -> Error "UPDATE announces no route"

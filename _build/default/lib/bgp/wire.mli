@@ -1,0 +1,28 @@
+(** BGP-4 UPDATE message wire format (RFC 4271 §4.3, RFC 5065 for
+    confederation segment types).
+
+    Encodes and decodes UPDATE messages carrying withdrawn routes, the
+    standard path attributes (ORIGIN, AS_PATH with confederation
+    segments, NEXT_HOP, MED, LOCAL_PREF, COMMUNITIES) and IPv4 NLRI.
+    The 19-byte header carries the all-ones marker. As with
+    {!Eywa_dns.Wire}, the reproduction's differential testing runs
+    in-process, but the codec is what a deployment would put on the
+    session socket, and it is property-tested for round-tripping. *)
+
+type update = {
+  withdrawn : Prefix.t list;
+  route : Route.t option;  (** attributes + NLRI, when announcing *)
+  nlri : Prefix.t list;
+}
+
+val encode : update -> string
+(** @raise Invalid_argument on AS numbers or attribute sizes that do
+    not fit their fields. *)
+
+val decode : string -> (update, string) result
+
+val encode_route : Route.t -> string
+(** An UPDATE announcing exactly this route. *)
+
+val decode_route : string -> (Route.t, string) result
+(** The announced route of an UPDATE; [Error _] if it carries none. *)

@@ -1,0 +1,1 @@
+lib/core/emodule.ml: Etype Eywa_symex List Printf

@@ -1,0 +1,1 @@
+lib/core/etype.ml: Array Eywa_minic Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/etype.mli: Eywa_minic Format

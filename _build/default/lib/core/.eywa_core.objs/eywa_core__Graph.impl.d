@@ -1,0 +1,1 @@
+lib/core/graph.ml: Emodule Etype List Printf

@@ -1,0 +1,1 @@
+lib/core/harness.ml: Array Char Emodule Etype Eywa_minic Eywa_solver Eywa_symex Graph List Printf Prompt

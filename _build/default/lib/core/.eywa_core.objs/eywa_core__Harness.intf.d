@@ -1,0 +1,1 @@
+lib/core/harness.mli: Emodule Eywa_minic Eywa_symex Graph

@@ -1,0 +1,1 @@
+lib/core/prompt.ml: Emodule Etype Eywa_minic Graph List Printf String

@@ -1,0 +1,1 @@
+lib/core/prompt.mli: Emodule Etype Eywa_minic Graph

@@ -1,0 +1,1 @@
+lib/core/serialize.ml: Array Buffer Char Eywa_minic List Printf String Testcase

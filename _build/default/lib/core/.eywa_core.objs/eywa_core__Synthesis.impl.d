@@ -1,0 +1,1 @@
+lib/core/synthesis.ml: Emodule Etype Eywa_minic Eywa_solver Eywa_symex Graph Harness List Oracle Printf Prompt String Testcase Unix

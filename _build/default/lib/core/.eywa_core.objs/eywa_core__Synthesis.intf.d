@@ -1,0 +1,1 @@
+lib/core/synthesis.mli: Emodule Eywa_minic Eywa_symex Graph Oracle Testcase

@@ -1,0 +1,1 @@
+lib/core/testcase.ml: Array Eywa_minic Format Hashtbl List Printf String

@@ -1,0 +1,113 @@
+module Ast = Eywa_minic.Ast
+module Value = Eywa_minic.Value
+
+type t =
+  | Bool
+  | Char
+  | Int of int
+  | String of int
+  | Enum of string * string list
+  | Array of t * int
+  | Struct of string * (string * t) list
+  | Alias of string * t
+
+let bool_ = Bool
+let char_ = Char
+
+let int_ ~bits =
+  if bits <= 0 || bits > 32 then invalid_arg "Etype.int_: bits must be in 1..32";
+  Int bits
+
+let string_ ~maxsize =
+  if maxsize <= 0 then invalid_arg "Etype.string_: maxsize must be positive";
+  String maxsize
+
+let enum name members =
+  if members = [] then invalid_arg "Etype.enum: no members";
+  Enum (name, members)
+
+let array t n =
+  if n <= 0 then invalid_arg "Etype.array: size must be positive";
+  Array (t, n)
+
+let struct_ name fields =
+  if fields = [] then invalid_arg "Etype.struct_: no fields";
+  Struct (name, fields)
+
+let alias name t = Alias (name, t)
+
+let rec strip_alias = function Alias (_, t) -> strip_alias t | t -> t
+
+let rec to_minic = function
+  | Bool -> Ast.Tbool
+  | Char -> Ast.Tchar
+  | Int bits -> Ast.Tint bits
+  | String _ -> Ast.Tstring
+  | Enum (name, _) -> Ast.Tenum name
+  | Array (t, n) -> Ast.Tarray (to_minic t, n)
+  | Struct (name, _) -> Ast.Tstruct name
+  | Alias (_, t) -> to_minic t
+
+let declarations tys =
+  let enums = ref [] and structs = ref [] in
+  let add_enum name members =
+    match List.find_opt (fun (e : Ast.enum_def) -> e.ename = name) !enums with
+    | Some e ->
+        if e.members <> members then
+          invalid_arg (Printf.sprintf "Etype.declarations: conflicting enum %S" name)
+    | None -> enums := !enums @ [ { Ast.ename = name; members } ]
+  in
+  let add_struct name fields =
+    match List.find_opt (fun (s : Ast.struct_def) -> s.sname = name) !structs with
+    | Some s ->
+        if s.fields <> fields then
+          invalid_arg (Printf.sprintf "Etype.declarations: conflicting struct %S" name)
+    | None -> structs := !structs @ [ { Ast.sname = name; fields } ]
+  in
+  let rec go = function
+    | Bool | Char | Int _ | String _ -> ()
+    | Enum (name, members) -> add_enum name members
+    | Array (t, _) -> go t
+    | Struct (name, fields) ->
+        (* dependencies first *)
+        List.iter (fun (_, t) -> go t) fields;
+        add_struct name (List.map (fun (f, t) -> (to_minic t, f)) fields)
+    | Alias (_, t) -> go t
+  in
+  List.iter go tys;
+  (!enums, !structs)
+
+let rec default_value = function
+  | Bool -> Value.Vbool false
+  | Char -> Value.Vchar '\000'
+  | Int _ -> Value.Vint 0
+  | String n -> Value.Vstring (String.make (n + 1) '\000')
+  | Enum (name, _) -> Value.Venum (name, 0)
+  | Array (t, n) -> Value.Varray (Array.init n (fun _ -> default_value t))
+  | Struct (name, fields) ->
+      Value.Vstruct (name, List.map (fun (f, t) -> (f, default_value t)) fields)
+  | Alias (_, t) -> default_value t
+
+let rec pp ppf = function
+  | Bool -> Format.fprintf ppf "Bool"
+  | Char -> Format.fprintf ppf "Char"
+  | Int bits -> Format.fprintf ppf "Int(bits=%d)" bits
+  | String n -> Format.fprintf ppf "String(maxsize=%d)" n
+  | Enum (name, members) ->
+      Format.fprintf ppf "Enum(%S, [%s])" name (String.concat "; " members)
+  | Array (t, n) -> Format.fprintf ppf "Array(%a, %d)" pp t n
+  | Struct (name, fields) ->
+      Format.fprintf ppf "Struct(%S, {%a})" name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           (fun ppf (f, t) -> Format.fprintf ppf "%s=%a" f pp t))
+        fields
+  | Alias (name, t) -> Format.fprintf ppf "Alias(%S, %a)" name pp t
+
+module Arg = struct
+  type nonrec ty = t
+
+  type t = { name : string; ty : ty; desc : string }
+
+  let v name ty desc = { name; ty; desc }
+end

@@ -1,0 +1,53 @@
+(** The Eywa modelling type language (paper Fig. 4).
+
+    Users describe protocol objects with these types; Eywa lowers them
+    to MiniC declarations for prompts and to symbolic atoms for the
+    test harness. Unbounded types carry explicit bounds
+    ([String ~maxsize]), exactly as the paper requires, so the symbolic
+    state stays finite. *)
+
+type t =
+  | Bool
+  | Char
+  | Int of int  (** unsigned, bit width *)
+  | String of int  (** maxsize: content length bound, excluding NUL *)
+  | Enum of string * string list
+  | Array of t * int
+  | Struct of string * (string * t) list
+  | Alias of string * t  (** named alias, to help the LLM; erased in C *)
+
+(** Constructors mirroring the Python API of Fig. 4. *)
+
+val bool_ : t
+val char_ : t
+val int_ : bits:int -> t
+val string_ : maxsize:int -> t
+val enum : string -> string list -> t
+val array : t -> int -> t
+val struct_ : string -> (string * t) list -> t
+val alias : string -> t -> t
+
+val strip_alias : t -> t
+
+val to_minic : t -> Eywa_minic.Ast.ty
+(** The MiniC type this lowers to. *)
+
+val declarations :
+  t list -> Eywa_minic.Ast.enum_def list * Eywa_minic.Ast.struct_def list
+(** Enum and struct typedefs needed by the given types, each emitted
+    once, dependencies first.
+    @raise Invalid_argument if two distinct types share a name. *)
+
+val default_value : t -> Eywa_minic.Value.t
+(** Concrete zero value honouring the declared string bounds. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** A named, documented function argument (paper's [eywa.Arg]). *)
+module Arg : sig
+  type ty = t
+
+  type t = { name : string; ty : ty; desc : string }
+
+  val v : string -> ty -> string -> t
+end

@@ -1,0 +1,87 @@
+type t = {
+  mutable pipes : (Emodule.t * Emodule.t) list;  (* insertion order *)
+  mutable calls : (Emodule.t * Emodule.t list) list;
+}
+
+let create () = { pipes = []; calls = [] }
+
+let arg_names args = List.map (fun (a : Etype.Arg.t) -> a.name) args
+
+let pipe g src dst =
+  (match dst with
+  | Emodule.Func _ -> ()
+  | Emodule.Regex _ | Emodule.Custom _ ->
+      invalid_arg "Graph.pipe: destination must be a Func module");
+  (match (src, dst) with
+  | Emodule.Regex r, Emodule.Func f ->
+      if not (List.mem r.target.name (arg_names (Emodule.inputs f))) then
+        invalid_arg
+          (Printf.sprintf "Graph.pipe: regex target %S is not an input of %s"
+             r.target.name f.name)
+  | (Emodule.Func _ | Emodule.Custom _), _ | _, (Emodule.Regex _ | Emodule.Custom _) ->
+      ());
+  g.pipes <- g.pipes @ [ (src, dst) ]
+
+let call_edge g m deps =
+  let check = function
+    | Emodule.Func _ | Emodule.Custom _ -> ()
+    | Emodule.Regex _ ->
+        invalid_arg "Graph.call_edge: regex modules cannot be call targets"
+  in
+  check m;
+  List.iter check deps;
+  g.calls <- g.calls @ [ (m, deps) ]
+
+let modules g =
+  let seen = ref [] in
+  let add m =
+    if not (List.exists (Emodule.equal m) !seen) then seen := !seen @ [ m ]
+  in
+  List.iter
+    (fun (a, b) ->
+      add a;
+      add b)
+    g.pipes;
+  List.iter
+    (fun (a, bs) ->
+      add a;
+      List.iter add bs)
+    g.calls;
+  !seen
+
+let pipes_into g m =
+  List.filter_map
+    (fun (src, dst) -> if Emodule.equal dst m then Some src else None)
+    g.pipes
+
+let call_deps g m =
+  List.concat_map
+    (fun (src, deps) -> if Emodule.equal src m then deps else [])
+    g.calls
+
+let synthesis_order g ~main =
+  (* roots: main plus every Func pipe-guard feeding it *)
+  let guards =
+    List.filter
+      (fun src -> match src with Emodule.Func _ | Emodule.Custom _ -> true
+                               | Emodule.Regex _ -> false)
+      (pipes_into g main)
+  in
+  let order = ref [] in
+  let visiting = ref [] in
+  let exception Cycle of string in
+  let rec visit m =
+    if List.exists (Emodule.equal m) !order then ()
+    else if List.exists (Emodule.equal m) !visiting then
+      raise (Cycle (Emodule.name m))
+    else begin
+      visiting := m :: !visiting;
+      List.iter visit (call_deps g m);
+      visiting := List.filter (fun x -> not (Emodule.equal x m)) !visiting;
+      order := !order @ [ m ]
+    end
+  in
+  match List.iter visit (guards @ [ main ]) with
+  | () -> Ok !order
+  | exception Cycle name ->
+      Error (Printf.sprintf "call-edge cycle through module %S" name)

@@ -1,0 +1,43 @@
+(** Dependency graphs connecting protocol modules (§3.3).
+
+    Two edge kinds, as in the paper:
+    - {b Pipe}: sequential composition — the source module validates or
+      produces inputs for the destination. A [Regex] source constrains
+      one string argument; a [Func] source is a validity predicate over
+      a subset of the destination's inputs whose boolean result gates
+      the main computation (the [bad_input] branch of Fig. 1b).
+    - {b CallEdge}: decomposition — the destination modules may be
+      called from the source's implementation, so their prototypes are
+      included in the source's prompt and their bodies are synthesised
+      by separate LLM invocations. *)
+
+type t
+
+val create : unit -> t
+
+val pipe : t -> Emodule.t -> Emodule.t -> unit
+(** [pipe g src dst] adds a sequential-composition edge.
+    @raise Invalid_argument if [dst] is not a [Func] module, or if a
+    [Regex] source's target argument is not among [dst]'s inputs. *)
+
+val call_edge : t -> Emodule.t -> Emodule.t list -> unit
+(** [call_edge g m deps] declares that [m]'s implementation may invoke
+    each module in [deps]. @raise Invalid_argument unless all involved
+    modules are [Func] or [Custom]. *)
+
+val modules : t -> Emodule.t list
+(** Every module mentioned by any edge, each once, in first-mention
+    order. *)
+
+val pipes_into : t -> Emodule.t -> Emodule.t list
+(** Pipe sources feeding the given module, in insertion order (the
+    paper binds the first pipe to the first input, and so on). *)
+
+val call_deps : t -> Emodule.t -> Emodule.t list
+(** Direct callees of a module. *)
+
+val synthesis_order : t -> main:Emodule.t -> (Emodule.t list, string) result
+(** All [Func]/[Custom] modules needed for [main] — [main] itself, its
+    transitive callees, pipe-guard functions and their callees — in
+    dependency order (callees first). [Error _] reports a call cycle,
+    which the paper's decomposition cannot express. *)

@@ -1,0 +1,7 @@
+type request = { system : string; user : string; temperature : float; seed : int }
+
+type t = { name : string; complete : request -> string }
+
+let make ~name complete = { name; complete }
+
+let constant text = { name = "constant"; complete = (fun _ -> text) }

@@ -1,0 +1,23 @@
+(** The LLM interface.
+
+    Eywa only ever sends prompt text and receives completion text; the
+    default production implementation lives in [eywa.llm] (a simulated
+    GPT-4 with a protocol knowledge base), and tests plug in canned or
+    adversarial oracles through the same interface. *)
+
+type request = {
+  system : string;
+  user : string;
+  temperature : float;  (** 0.0 – 1.0, the paper's tau *)
+  seed : int;  (** sampling seed; distinct per model index *)
+}
+
+type t = {
+  name : string;
+  complete : request -> string;  (** returns C source text *)
+}
+
+val make : name:string -> (request -> string) -> t
+
+val constant : string -> t
+(** Oracle that always returns the given text; for tests. *)

@@ -1,0 +1,106 @@
+module Ast = Eywa_minic.Ast
+module Pretty = Eywa_minic.Pretty
+
+let system_prompt =
+  String.concat "\n"
+    [
+      "Your goal is to implement the C function provided by the user.";
+      "The result should be the complete implementation of the code, including:";
+      "  1. All the import statements needed, including those provided in the \
+       input. All the imports from the input should be included.";
+      "  2. All the type definitions provided by the user. The type definitions \
+       should NOT be modified.";
+      "  3. ONLY write code for the function that has 'implement me' written in \
+       its function body.";
+      "  4. If any additional function prototypes are provided, you can use them \
+       as helper functions. There is no need to define them. You can assume they \
+       will be done later by the user.";
+      "  5. Do NOT change the provided function declarations/prototypes.";
+      "  6. Whenever you define a struct, write it in one line. Do not put \
+       newline. e.g. struct { int x; int y; }";
+      "Do NOT add a `main()` function or any examples, just implement the \
+       function.";
+      "DO NOT USE fenced code blocks, just write the code.";
+      "DO NOT USE C strtok function. Implement your own.";
+    ]
+
+type t = { system : string; user : string; target : string }
+
+let doc_of_func (f : Emodule.func) =
+  let inputs = Emodule.inputs f in
+  let result = Emodule.result f in
+  [ f.desc; "Parameters:" ]
+  @ List.map
+      (fun (a : Etype.Arg.t) -> Printf.sprintf "  %s: %s" a.name a.desc)
+      inputs
+  @ [ "Return Value:"; Printf.sprintf "  %s" result.desc ]
+
+let signature_of (f : Emodule.func) =
+  let inputs = Emodule.inputs f in
+  let result = Emodule.result f in
+  {
+    Ast.fname = f.name;
+    ret = Etype.to_minic result.ty;
+    params = List.map (fun (a : Etype.Arg.t) -> (Etype.to_minic a.ty, a.name)) inputs;
+    body = [];
+    doc = doc_of_func f;
+  }
+
+let proto_of (f : Emodule.func) =
+  let s = signature_of f in
+  { Ast.pname = s.fname; pret = s.ret; pparams = s.params; pdoc = s.doc }
+
+(* Every Func module transitively reachable from [f] through call
+   edges, excluding [f]; these contribute types and prototypes. *)
+let reachable_deps g (f : Emodule.func) =
+  let seen = ref [] in
+  let rec visit m =
+    if not (List.exists (Emodule.equal m) !seen) then begin
+      seen := !seen @ [ m ];
+      List.iter visit (Graph.call_deps g m)
+    end
+  in
+  List.iter visit (Graph.call_deps g (Emodule.Func f));
+  !seen
+
+let involved_types g (f : Emodule.func) =
+  let of_func (m : Emodule.func) = List.map (fun (a : Etype.Arg.t) -> a.ty) m.args in
+  let dep_types =
+    List.concat_map
+      (fun m ->
+        match m with
+        | Emodule.Func df -> of_func df
+        | Emodule.Regex _ | Emodule.Custom _ -> [])
+      (reachable_deps g f)
+  in
+  of_func f @ dep_types
+
+let type_declarations g f =
+  let enums, structs = Etype.declarations (involved_types g f) in
+  String.concat "\n\n"
+    (List.map Pretty.enum_def enums @ List.map Pretty.struct_def structs)
+
+let for_module g (f : Emodule.func) =
+  let headers =
+    "#include <stdint.h>\n#include <stdbool.h>\n#include <string.h>"
+  in
+  let types = type_declarations g f in
+  let protos =
+    List.filter_map
+      (fun m ->
+        match m with
+        | Emodule.Func df -> Some (Pretty.proto (proto_of df))
+        | Emodule.Custom _ | Emodule.Regex _ -> None)
+      (reachable_deps g f)
+  in
+  let target = signature_of f in
+  let target_text =
+    Printf.sprintf "%s%s {\n  // implement me\n"
+      (String.concat "" (List.map (fun l -> "// " ^ l ^ "\n") target.doc))
+      (Pretty.signature target)
+  in
+  let user =
+    String.concat "\n\n"
+      ((headers :: (if types = "" then [] else [ types ])) @ protos @ [ target_text ])
+  in
+  { system = system_prompt; user; target = f.name }

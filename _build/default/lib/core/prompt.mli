@@ -1,0 +1,33 @@
+(** The Prompt Generator (§3.4).
+
+    For each [Func] module, Eywa builds a user prompt that frames the
+    implementation as a completion problem — C typedefs for every type
+    involved, prototypes (with doc comments) for modules reachable via
+    call edges, then the documented signature of the target function
+    with an open brace — plus a fixed system prompt (paper Fig. 13).
+    The simulated LLM parses this text back; nothing else crosses the
+    boundary, keeping the pipeline honest to the paper's. *)
+
+val system_prompt : string
+(** The system prompt of Fig. 13, verbatim in structure. *)
+
+type t = {
+  system : string;
+  user : string;
+  target : string;  (** function name being completed, for logging *)
+}
+
+val for_module : Graph.t -> Emodule.func -> t
+(** Build the prompt for one module given its graph context. *)
+
+val signature_of : Emodule.func -> Eywa_minic.Ast.func
+(** The MiniC signature (empty body) for a func module: the last arg
+    becomes the return type, the rest the parameters, with the doc
+    comment assembled from the descriptions. *)
+
+val type_declarations : Graph.t -> Emodule.func -> string
+(** The typedef block shared by this module's prompt. *)
+
+val involved_types : Graph.t -> Emodule.func -> Etype.t list
+(** Types used by the module and its transitive call-edge dependencies;
+    the harness builder extends this with pipe-guard types. *)

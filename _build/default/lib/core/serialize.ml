@@ -1,0 +1,264 @@
+module Value = Eywa_minic.Value
+
+(* ----- values ----- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 || Char.code c > 126 ->
+          Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec value_to_string = function
+  | Value.Vunit -> "U"
+  | Value.Vbool true -> "T"
+  | Value.Vbool false -> "F"
+  | Value.Vchar c -> Printf.sprintf "C%d" (Char.code c)
+  | Value.Vint n -> Printf.sprintf "I%d" n
+  | Value.Venum (e, i) -> Printf.sprintf "E(%s,%d)" e i
+  | Value.Vstring raw -> Printf.sprintf "S\"%s\"" (escape raw)
+  | Value.Vstruct (name, fields) ->
+      Printf.sprintf "{%s %s}" name
+        (String.concat " ; "
+           (List.map (fun (f, v) -> f ^ "=" ^ value_to_string v) fields))
+  | Value.Varray vs ->
+      Printf.sprintf "[%s]"
+        (String.concat " ; " (List.map value_to_string (Array.to_list vs)))
+
+type cursor = { src : string; mutable pos : int }
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let next c =
+  match peek c with
+  | Some ch ->
+      c.pos <- c.pos + 1;
+      ch
+  | None -> bad "unexpected end of input at %d" c.pos
+
+let skip_ws c =
+  while peek c = Some ' ' do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  skip_ws c;
+  let got = next c in
+  if got <> ch then bad "expected %C, found %C at %d" ch got (c.pos - 1)
+
+let read_int c =
+  skip_ws c;
+  let start = c.pos in
+  if peek c = Some '-' then c.pos <- c.pos + 1;
+  while (match peek c with Some ('0' .. '9') -> true | _ -> false) do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then bad "expected an integer at %d" start;
+  int_of_string (String.sub c.src start (c.pos - start))
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let read_ident c =
+  skip_ws c;
+  let start = c.pos in
+  while (match peek c with Some ch when is_ident_char ch -> true | _ -> false) do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then bad "expected an identifier at %d" start;
+  String.sub c.src start (c.pos - start)
+
+let read_quoted c =
+  expect c '"';
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match next c with
+    | '"' -> Buffer.contents buf
+    | '\\' -> (
+        match next c with
+        | 'n' ->
+            Buffer.add_char buf '\n';
+            go ()
+        | 'x' ->
+            let h1 = next c and h2 = next c in
+            let v = int_of_string (Printf.sprintf "0x%c%c" h1 h2) in
+            Buffer.add_char buf (Char.chr v);
+            go ()
+        | ch ->
+            Buffer.add_char buf ch;
+            go ())
+    | ch ->
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ()
+
+let rec read_value c : Value.t =
+  skip_ws c;
+  match next c with
+  | 'U' -> Value.Vunit
+  | 'T' -> Value.Vbool true
+  | 'F' -> Value.Vbool false
+  | 'C' -> Value.Vchar (Char.chr (read_int c land 0xff))
+  | 'I' -> Value.Vint (read_int c)
+  | 'E' ->
+      expect c '(';
+      let name = read_ident c in
+      expect c ',';
+      let i = read_int c in
+      expect c ')';
+      Value.Venum (name, i)
+  | 'S' ->
+      skip_ws c;
+      Value.Vstring (read_quoted c)
+  | '{' ->
+      let name = read_ident c in
+      let rec fields acc =
+        skip_ws c;
+        if peek c = Some '}' then begin
+          c.pos <- c.pos + 1;
+          List.rev acc
+        end
+        else begin
+          if acc <> [] then expect c ';';
+          let f = read_ident c in
+          expect c '=';
+          let v = read_value c in
+          fields ((f, v) :: acc)
+        end
+      in
+      Value.Vstruct (name, fields [])
+  | '[' ->
+      let rec elems acc =
+        skip_ws c;
+        if peek c = Some ']' then begin
+          c.pos <- c.pos + 1;
+          List.rev acc
+        end
+        else begin
+          if acc <> [] then expect c ';';
+          elems (read_value c :: acc)
+        end
+      in
+      Value.Varray (Array.of_list (elems []))
+  | ch -> bad "unexpected %C at %d" ch (c.pos - 1)
+
+let value_of_string s =
+  let c = { src = s; pos = 0 } in
+  match read_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then Error "trailing input"
+      else Ok v
+  | exception Bad m -> Error m
+
+(* ----- test cases ----- *)
+
+let test_to_line (t : Testcase.t) =
+  let inputs =
+    String.concat ", "
+      (List.map (fun (n, v) -> n ^ "=" ^ value_to_string v) t.inputs)
+  in
+  let result =
+    match t.result with None -> "none" | Some v -> value_to_string v
+  in
+  let error = match t.error with None -> "" | Some e -> escape e in
+  Printf.sprintf "inputs(%s) result(%s) bad(%b) error(\"%s\")" inputs result
+    t.bad_input error
+
+let test_of_line line =
+  let c = { src = line; pos = 0 } in
+  match
+    let kw = read_ident c in
+    if kw <> "inputs" then bad "expected 'inputs'";
+    expect c '(';
+    let rec inputs acc =
+      skip_ws c;
+      if peek c = Some ')' then begin
+        c.pos <- c.pos + 1;
+        List.rev acc
+      end
+      else begin
+        if acc <> [] then expect c ',';
+        let n = read_ident c in
+        expect c '=';
+        let v = read_value c in
+        inputs ((n, v) :: acc)
+      end
+    in
+    let inputs = inputs [] in
+    let kw = read_ident c in
+    if kw <> "result" then bad "expected 'result'";
+    expect c '(';
+    skip_ws c;
+    let result =
+      if peek c = Some 'n' then begin
+        let w = read_ident c in
+        if w <> "none" then bad "expected 'none'";
+        None
+      end
+      else Some (read_value c)
+    in
+    expect c ')';
+    let kw = read_ident c in
+    if kw <> "bad" then bad "expected 'bad'";
+    expect c '(';
+    let flag = read_ident c in
+    let bad_input =
+      match flag with
+      | "true" -> true
+      | "false" -> false
+      | _ -> bad "expected a boolean"
+    in
+    expect c ')';
+    let kw = read_ident c in
+    if kw <> "error" then bad "expected 'error'";
+    expect c '(';
+    skip_ws c;
+    let err = read_quoted c in
+    expect c ')';
+    { Testcase.inputs; result; bad_input;
+      error = (if err = "" then None else Some err) }
+  with
+  | t -> Ok t
+  | exception Bad m -> Error m
+
+let save path tests =
+  let oc = open_out path in
+  Printf.fprintf oc "# eywa test suite: %d tests\n" (List.length tests);
+  List.iter (fun t -> output_string oc (test_to_line t ^ "\n")) tests;
+  close_out oc
+
+let load path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let rec go acc lineno =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            Ok (List.rev acc)
+        | line ->
+            let line = String.trim line in
+            if line = "" || (String.length line > 0 && line.[0] = '#') then
+              go acc (lineno + 1)
+            else (
+              match test_of_line line with
+              | Ok t -> go (t :: acc) (lineno + 1)
+              | Error m ->
+                  close_in ic;
+                  Error (Printf.sprintf "line %d: %s" lineno m))
+      in
+      go [] 1

@@ -1,0 +1,24 @@
+(** Durable textual form for test cases.
+
+    Generated test suites are expensive (k LLM drafts + symbolic
+    execution), so users persist them and replay later — the paper's
+    workflow stores Klee's outputs the same way. One test per line;
+    the format is self-describing and round-trips every {!Value}
+    shape. *)
+
+val value_to_string : Eywa_minic.Value.t -> string
+(** [T], [F], [C99], [I42], [E(RecordType,5)], [S"ab\000c"],
+    [{Record rtyp=... ; name=...}], [[v; v]], [U]. *)
+
+val value_of_string : string -> (Eywa_minic.Value.t, string) result
+
+val test_to_line : Testcase.t -> string
+val test_of_line : string -> (Testcase.t, string) result
+
+val save : string -> Testcase.t list -> unit
+(** Write a suite to a file, one test per line with a header comment.
+    Overwrites. *)
+
+val load : string -> (Testcase.t list, string) result
+(** Read a suite; blank lines and [#] comments are skipped. The first
+    malformed line aborts with its message. *)

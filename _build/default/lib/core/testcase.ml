@@ -1,0 +1,48 @@
+module Value = Eywa_minic.Value
+
+type t = {
+  inputs : (string * Value.t) list;
+  result : Value.t option;
+  bad_input : bool;
+  error : string option;
+}
+
+let input t name = List.assoc name t.inputs
+
+let input_string t name = Value.cstring (input t name)
+
+(* Strings are canonicalised to their C contents so buffers that differ
+   only after the first NUL coincide. *)
+let rec canon (v : Value.t) =
+  match v with
+  | Value.Vstring _ -> Printf.sprintf "%S" (Value.cstring v)
+  | Value.Vstruct (n, fs) ->
+      Printf.sprintf "%s{%s}" n
+        (String.concat ";" (List.map (fun (f, w) -> f ^ "=" ^ canon w) fs))
+  | Value.Varray vs ->
+      Printf.sprintf "[%s]" (String.concat ";" (List.map canon (Array.to_list vs)))
+  | Value.Vunit | Value.Vbool _ | Value.Vchar _ | Value.Vint _ | Value.Venum _ ->
+      Value.to_string v
+
+let key t =
+  String.concat "," (List.map (fun (name, v) -> name ^ "=" ^ canon v) t.inputs)
+
+let dedup tests =
+  let seen = Hashtbl.create (List.length tests) in
+  List.filter
+    (fun t ->
+      let k = key t in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    tests
+
+let pp ppf t =
+  Format.fprintf ppf "{%s -> %s%s%s}" (key t)
+    (match t.result with None -> "<none>" | Some v -> canon v)
+    (if t.bad_input then " (bad-input)" else "")
+    (match t.error with None -> "" | Some e -> Printf.sprintf " (error: %s)" e)
+
+let to_string t = Format.asprintf "%a" pp t

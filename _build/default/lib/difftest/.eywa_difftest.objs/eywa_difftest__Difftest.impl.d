@@ -1,0 +1,1 @@
+lib/difftest/difftest.ml: Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/difftest/difftest.mli: Format

@@ -1,0 +1,103 @@
+type fields = (string * string) list
+
+type observation = { impl : string; fields : fields }
+
+type disagreement = {
+  d_impl : string;
+  d_field : string;
+  d_got : string;
+  d_majority : string;
+}
+
+let field_majority values =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (_, v) ->
+      let n = try Hashtbl.find counts v with Not_found -> 0 in
+      Hashtbl.replace counts v (n + 1))
+    values;
+  let best =
+    Hashtbl.fold
+      (fun v n acc ->
+        match acc with
+        | None -> Some (v, n)
+        | Some (bv, bn) ->
+            if n > bn || (n = bn && v < bv) then Some (v, n) else acc)
+      counts None
+  in
+  match best with Some (v, _) -> v | None -> ""
+
+let compare_all observations =
+  match observations with
+  | [] | [ _ ] -> []
+  | first :: _ ->
+      let field_names = List.map fst first.fields in
+      List.concat_map
+        (fun field ->
+          let values =
+            List.filter_map
+              (fun o ->
+                match List.assoc_opt field o.fields with
+                | Some v -> Some (o.impl, v)
+                | None -> None)
+              observations
+          in
+          let majority = field_majority values in
+          List.filter_map
+            (fun (impl, v) ->
+              if v = majority then None
+              else
+                Some { d_impl = impl; d_field = field; d_got = v; d_majority = majority })
+            values)
+        field_names
+
+type accum = {
+  mutable total : int;
+  mutable disagreeing : int;
+  counts : (disagreement, int) Hashtbl.t;
+}
+
+type report = {
+  total_tests : int;
+  disagreeing_tests : int;
+  tuples : (disagreement * int) list;
+}
+
+let create () = { total = 0; disagreeing = 0; counts = Hashtbl.create 64 }
+
+let record acc observations =
+  let ds = compare_all observations in
+  acc.total <- acc.total + 1;
+  if ds <> [] then acc.disagreeing <- acc.disagreeing + 1;
+  List.iter
+    (fun d ->
+      let n = try Hashtbl.find acc.counts d with Not_found -> 0 in
+      Hashtbl.replace acc.counts d (n + 1))
+    ds;
+  ds
+
+let report acc =
+  let tuples =
+    Hashtbl.fold (fun d n l -> (d, n) :: l) acc.counts []
+    |> List.sort (fun (da, na) (db, nb) ->
+           if na <> nb then compare nb na else compare da db)
+  in
+  { total_tests = acc.total; disagreeing_tests = acc.disagreeing; tuples }
+
+let impls_in_report r =
+  List.sort_uniq compare (List.map (fun (d, _) -> d.d_impl) r.tuples)
+
+let tuples_for r impl = List.filter (fun (d, _) -> d.d_impl = impl) r.tuples
+
+let pp_report ppf r =
+  Format.fprintf ppf "tests: %d, with disagreements: %d, unique tuples: %d@."
+    r.total_tests r.disagreeing_tests (List.length r.tuples);
+  List.iter
+    (fun (d, n) ->
+      Format.fprintf ppf "  (%s, %s, %s, %s) x%d@." d.d_impl d.d_field
+        (if String.length d.d_got > 60 then String.sub d.d_got 0 60 ^ "..." else d.d_got)
+        (if String.length d.d_majority > 60 then
+           String.sub d.d_majority 0 60 ^ "..."
+         else d.d_majority)
+        n)
+    r.tuples

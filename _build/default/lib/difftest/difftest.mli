@@ -1,0 +1,51 @@
+(** Differential testing with majority voting and root-cause triage
+    (§4.2).
+
+    Each implementation's response to a test is rendered as a set of
+    named fields (for DNS: rcode, flags, answer, authority, additional,
+    crash). For every field, the majority value is the expected one;
+    implementations that differ produce a disagreement tuple
+    [(impl, field, got, majority)]. Because many tests trigger the same
+    bug, tuples are deduplicated into unique root causes, exactly as
+    the paper triages its results. *)
+
+type fields = (string * string) list
+(** field name -> rendered value; all observations of one test must use
+    the same field names. *)
+
+type observation = { impl : string; fields : fields }
+
+type disagreement = {
+  d_impl : string;
+  d_field : string;
+  d_got : string;
+  d_majority : string;
+}
+
+val field_majority : (string * string) list -> string
+(** Majority value among (impl, value) pairs; ties broken towards the
+    lexicographically smallest value with maximal count, so results are
+    deterministic. *)
+
+val compare_all : observation list -> disagreement list
+(** Disagreements of a single test across implementations. *)
+
+(** Accumulation across a whole test suite. *)
+
+type accum
+
+type report = {
+  total_tests : int;
+  disagreeing_tests : int;
+  tuples : (disagreement * int) list;
+      (** unique tuples with occurrence counts, most frequent first *)
+}
+
+val create : unit -> accum
+val record : accum -> observation list -> disagreement list
+val report : accum -> report
+
+val impls_in_report : report -> string list
+val tuples_for : report -> string -> (disagreement * int) list
+
+val pp_report : Format.formatter -> report -> unit

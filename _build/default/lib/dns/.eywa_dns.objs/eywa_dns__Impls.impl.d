@@ -1,0 +1,1 @@
+lib/dns/impls.ml: List Lookup

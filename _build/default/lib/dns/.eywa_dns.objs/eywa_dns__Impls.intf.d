@@ -1,0 +1,1 @@
+lib/dns/impls.mli: Lookup Message Zone

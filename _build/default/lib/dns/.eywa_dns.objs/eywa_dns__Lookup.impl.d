@@ -1,0 +1,1 @@
+lib/dns/lookup.ml: List Message Name Rr String Zone

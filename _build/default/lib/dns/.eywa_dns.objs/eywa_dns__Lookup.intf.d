@@ -1,0 +1,1 @@
+lib/dns/lookup.mli: Message Zone

@@ -1,0 +1,1 @@
+lib/dns/server.ml: Bytes Hashtbl Message String Thread Unix Wire

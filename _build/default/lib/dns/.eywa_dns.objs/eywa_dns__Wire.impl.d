@@ -1,0 +1,1 @@
+lib/dns/wire.ml: Buffer Bytes Char Hashtbl List Message Name Printf Rr String

@@ -1,0 +1,1 @@
+lib/dns/zonefile.ml: Buffer Fun List Message Name Printf Rr Scanf String Zone

@@ -1,0 +1,1 @@
+lib/dns/zonefile.mli: Message Name Rr Zone

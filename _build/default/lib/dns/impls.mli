@@ -1,0 +1,39 @@
+(** The ten nameserver implementations of Table 1, as the reference
+    {!Lookup} engine plus each implementation's documented bug
+    behaviours (Table 3) behind quirk flags.
+
+    [Old] is the pre-bug-fix version the paper also tests (for the
+    seven implementations SCALE had covered, where known bugs were
+    since fixed); [Current] keeps only the bugs that were still present
+    — i.e. the ones Eywa found that were new. *)
+
+type version = Old | Current
+
+type bug = {
+  quirk : Lookup.quirk;
+  description : string;  (** Table 3 wording *)
+  bug_type : string;  (** "Wrong Answer", "Server Crash", ... *)
+  new_bug : bool;  (** not found by prior work (SCALE) *)
+}
+
+type t = {
+  name : string;
+  tested_by_scale : bool;
+  bugs : bug list;
+}
+
+val all : t list
+(** bind, coredns, gdnsd, nsd, hickory, knot, powerdns, technitium,
+    yadifa, twisted. *)
+
+val find : string -> t option
+
+val quirks : t -> version -> Lookup.quirk list
+(** [Old] enables every bug; [Current] only the new (unfixed) ones for
+    SCALE-tested implementations, everything for the rest. *)
+
+val serve : t -> version -> Zone.t -> Message.query -> Message.outcome
+(** Answer one query, with this implementation's quirks applied. *)
+
+val bug_catalog : (string * bug) list
+(** Flattened (implementation, bug) rows of Table 3. *)

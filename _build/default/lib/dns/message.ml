@@ -1,0 +1,50 @@
+type rcode = NOERROR | NXDOMAIN | SERVFAIL | REFUSED
+
+type query = { qname : Name.t; qtype : Rr.rtype }
+
+type response = {
+  rcode : rcode;
+  aa : bool;
+  answer : Rr.t list;
+  authority : Rr.t list;
+  additional : Rr.t list;
+}
+
+type outcome = Reply of response | Crash of string
+
+let rcode_to_string = function
+  | NOERROR -> "NOERROR"
+  | NXDOMAIN -> "NXDOMAIN"
+  | SERVFAIL -> "SERVFAIL"
+  | REFUSED -> "REFUSED"
+
+let empty_response =
+  { rcode = NOERROR; aa = true; answer = []; authority = []; additional = [] }
+
+let normalize r =
+  {
+    r with
+    answer = List.sort_uniq Rr.compare r.answer;
+    authority = List.sort_uniq Rr.compare r.authority;
+    additional = List.sort_uniq Rr.compare r.additional;
+  }
+
+let equal_response a b = normalize a = normalize b
+
+let pp_section ppf (label, rrs) =
+  if rrs <> [] then begin
+    Format.fprintf ppf "  %s:@." label;
+    List.iter (fun r -> Format.fprintf ppf "    %a@." Rr.pp r) rrs
+  end
+
+let pp_response ppf r =
+  Format.fprintf ppf "%s%s@." (rcode_to_string r.rcode) (if r.aa then " aa" else "");
+  pp_section ppf ("answer", r.answer);
+  pp_section ppf ("authority", r.authority);
+  pp_section ppf ("additional", r.additional)
+
+let pp_outcome ppf = function
+  | Reply r -> pp_response ppf r
+  | Crash m -> Format.fprintf ppf "CRASH: %s@." m
+
+let outcome_to_string o = Format.asprintf "%a" pp_outcome o

@@ -1,0 +1,33 @@
+(** DNS queries and responses (the fields differential testing
+    compares: answer, authority, additional, flags, return code). *)
+
+type rcode = NOERROR | NXDOMAIN | SERVFAIL | REFUSED
+
+type query = { qname : Name.t; qtype : Rr.rtype }
+
+type response = {
+  rcode : rcode;
+  aa : bool;  (** authoritative-answer flag *)
+  answer : Rr.t list;
+  authority : Rr.t list;
+  additional : Rr.t list;
+}
+
+type outcome =
+  | Reply of response
+  | Crash of string  (** the server died on this query *)
+
+val rcode_to_string : rcode -> string
+
+val empty_response : response
+(** NOERROR, aa set, all sections empty. *)
+
+val normalize : response -> response
+(** Sort each section, for order-insensitive comparison. *)
+
+val equal_response : response -> response -> bool
+(** Equality modulo record order. *)
+
+val pp_response : Format.formatter -> response -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+val outcome_to_string : outcome -> string

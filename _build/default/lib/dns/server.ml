@@ -1,0 +1,111 @@
+type t = {
+  socket : Unix.file_descr;
+  bound_port : int;
+  thread : Thread.t;
+  stopped : bool ref;
+}
+
+let serve_loop socket stopped handler =
+  let buf = Bytes.create 4096 in
+  while not !stopped do
+    match Unix.recvfrom socket buf 0 (Bytes.length buf) [] with
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINTR), _, _) -> ()
+    | len, peer -> (
+        let data = Bytes.sub_string buf 0 len in
+        match Wire.decode data with
+        | Error _ -> () (* drop garbage, as servers do *)
+        | Ok request -> (
+            match request.Wire.question with
+            | [] -> ()
+            | q :: _ ->
+                let response =
+                  match handler q with
+                  | Message.Reply r -> r
+                  | Message.Crash _ ->
+                      {
+                        Message.rcode = Message.SERVFAIL;
+                        aa = false;
+                        answer = [];
+                        authority = [];
+                        additional = [];
+                      }
+                in
+                let reply =
+                  Wire.of_response ~id:request.Wire.header.id q response
+                in
+                let bytes = Wire.encode reply in
+                ignore
+                  (Unix.sendto socket (Bytes.of_string bytes) 0
+                     (String.length bytes) [] peer)))
+  done
+
+let start ?(host = "127.0.0.1") ?(port = 0) handler =
+  match Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | socket -> (
+      try
+        Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+        (* a receive timeout lets the loop notice the stop flag *)
+        Unix.setsockopt_float socket Unix.SO_RCVTIMEO 0.2;
+        let bound_port =
+          match Unix.getsockname socket with
+          | Unix.ADDR_INET (_, p) -> p
+          | Unix.ADDR_UNIX _ -> 0
+        in
+        let stopped = ref false in
+        let thread =
+          Thread.create
+            (fun () ->
+              try serve_loop socket stopped handler
+              with Unix.Unix_error _ -> ())
+            ()
+        in
+        Ok { socket; bound_port; thread; stopped }
+      with Unix.Unix_error (e, _, _) ->
+        Unix.close socket;
+        Error (Unix.error_message e))
+
+let port t = t.bound_port
+
+let stop t =
+  if not !(t.stopped) then begin
+    t.stopped := true;
+    Thread.join t.thread;
+    (try Unix.close t.socket with Unix.Unix_error _ -> ())
+  end
+
+let query ?(host = "127.0.0.1") ?(timeout = 2.0) ~port q =
+  match Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | socket -> (
+      let finish r =
+        (try Unix.close socket with Unix.Unix_error _ -> ());
+        r
+      in
+      try
+        Unix.setsockopt_float socket Unix.SO_RCVTIMEO timeout;
+        let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+        let id = Hashtbl.hash (q, Unix.gettimeofday ()) land 0xffff in
+        let request =
+          {
+            Wire.header =
+              { Wire.id; qr = false; opcode = 0; aa = false; tc = false;
+                rd = false; ra = false; rcode = 0 };
+            question = [ q ];
+            answer = [];
+            authority = [];
+            additional = [];
+          }
+        in
+        let bytes = Wire.encode request in
+        ignore
+          (Unix.sendto socket (Bytes.of_string bytes) 0 (String.length bytes) []
+             addr);
+        let buf = Bytes.create 4096 in
+        let len, _ = Unix.recvfrom socket buf 0 (Bytes.length buf) [] in
+        match Wire.decode (Bytes.sub_string buf 0 len) with
+        | Error m -> finish (Error ("malformed reply: " ^ m))
+        | Ok reply ->
+            if reply.Wire.header.id <> id then finish (Error "mismatched query id")
+            else finish (Ok (Wire.to_response reply))
+      with Unix.Unix_error (e, _, _) -> finish (Error (Unix.error_message e)))

@@ -1,0 +1,32 @@
+(** A UDP nameserver speaking the {!Wire} format.
+
+    The paper runs each implementation in a Docker container and
+    queries it with dnspython over the network; this module provides
+    the same deployment surface for the in-process implementations: a
+    loopback UDP server wrapping any lookup function, plus a blocking
+    client. Differential testing itself stays in-process for speed, but
+    the socket path is exercised end to end by the test suite. *)
+
+type t
+
+val start :
+  ?host:string ->
+  ?port:int ->
+  (Message.query -> Message.outcome) ->
+  (t, string) result
+(** Bind (default 127.0.0.1, port 0 = ephemeral) and serve in a
+    background thread. A [Crash] outcome answers SERVFAIL — observable,
+    like a supervisor restarting the dead server. *)
+
+val port : t -> int
+
+val stop : t -> unit
+(** Idempotent; joins the service thread. *)
+
+val query :
+  ?host:string ->
+  ?timeout:float ->
+  port:int ->
+  Message.query ->
+  (Message.response, string) result
+(** One blocking wire query (default timeout 2 s). *)

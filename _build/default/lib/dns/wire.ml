@@ -1,0 +1,292 @@
+type header = {
+  id : int;
+  qr : bool;
+  opcode : int;
+  aa : bool;
+  tc : bool;
+  rd : bool;
+  ra : bool;
+  rcode : int;
+}
+
+type message = {
+  header : header;
+  question : Message.query list;
+  answer : Rr.t list;
+  authority : Rr.t list;
+  additional : Rr.t list;
+}
+
+let rcode_to_int = function
+  | Message.NOERROR -> 0
+  | Message.NXDOMAIN -> 3
+  | Message.SERVFAIL -> 2
+  | Message.REFUSED -> 5
+
+let rcode_of_int = function
+  | 0 -> Message.NOERROR
+  | 3 -> Message.NXDOMAIN
+  | 5 -> Message.REFUSED
+  | _ -> Message.SERVFAIL
+
+let rtype_to_int = function
+  | Rr.A -> 1
+  | Rr.NS -> 2
+  | Rr.CNAME -> 5
+  | Rr.SOA -> 6
+  | Rr.TXT -> 16
+  | Rr.AAAA -> 28
+  | Rr.DNAME -> 39
+
+let rtype_of_int = function
+  | 1 -> Some Rr.A
+  | 2 -> Some Rr.NS
+  | 5 -> Some Rr.CNAME
+  | 6 -> Some Rr.SOA
+  | 16 -> Some Rr.TXT
+  | 28 -> Some Rr.AAAA
+  | 39 -> Some Rr.DNAME
+  | _ -> None
+
+let of_response ~id query (r : Message.response) =
+  {
+    header =
+      { id; qr = true; opcode = 0; aa = r.aa; tc = false; rd = false; ra = false;
+        rcode = rcode_to_int r.rcode };
+    question = [ query ];
+    answer = r.answer;
+    authority = r.authority;
+    additional = r.additional;
+  }
+
+let to_response m =
+  {
+    Message.rcode = rcode_of_int m.header.rcode;
+    aa = m.header.aa;
+    answer = m.answer;
+    authority = m.authority;
+    additional = m.additional;
+  }
+
+(* ----- encoding ----- *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u16 buf v =
+  put_u8 buf (v lsr 8);
+  put_u8 buf v
+
+let put_u32 buf v =
+  put_u16 buf (v lsr 16);
+  put_u16 buf (v land 0xffff)
+
+let put_name buf name =
+  List.iter
+    (fun label ->
+      let len = String.length label in
+      if len = 0 || len > 63 then
+        invalid_arg (Printf.sprintf "Wire.encode: label %S outside 1..63 bytes" label);
+      put_u8 buf len;
+      Buffer.add_string buf label)
+    name;
+  put_u8 buf 0
+
+(* IPv4 dotted quad when well formed; otherwise a stable hash of the
+   string so that opaque test addresses still round-trip as 4 bytes. *)
+let address_bytes addr =
+  match String.split_on_char '.' addr |> List.map int_of_string_opt with
+  | [ Some a; Some b; Some c; Some d ]
+    when a land 0xff = a && b land 0xff = b && c land 0xff = c && d land 0xff = d ->
+    [ a; b; c; d ]
+  | _ ->
+      let h = Hashtbl.hash addr in
+      [ (h lsr 24) land 0xff; (h lsr 16) land 0xff; (h lsr 8) land 0xff; h land 0xff ]
+
+let put_rdata buf (r : Rr.t) =
+  let start = Buffer.length buf in
+  put_u16 buf 0;
+  (* placeholder *)
+  (match r.rdata with
+  | Rr.Target n -> put_name buf n
+  | Rr.Address a ->
+      let bytes = address_bytes a in
+      let bytes =
+        if r.rtype = Rr.AAAA then bytes @ List.init 12 (fun _ -> 0) else bytes
+      in
+      List.iter (put_u8 buf) bytes
+  | Rr.Text s ->
+      if String.length s > 255 then invalid_arg "Wire.encode: TXT over 255 bytes";
+      put_u8 buf (String.length s);
+      Buffer.add_string buf s
+  | Rr.Soa_data ->
+      put_name buf (Name.of_string "ns1.test.");
+      put_name buf (Name.of_string "admin.test.");
+      List.iter (put_u32 buf) [ 1; 3600; 600; 86400; 3600 ]);
+  (* patch the length *)
+  let rdlen = Buffer.length buf - start - 2 in
+  let bytes = Buffer.to_bytes buf in
+  Bytes.set bytes start (Char.chr ((rdlen lsr 8) land 0xff));
+  Bytes.set bytes (start + 1) (Char.chr (rdlen land 0xff));
+  Buffer.clear buf;
+  Buffer.add_bytes buf bytes
+
+let put_question buf (q : Message.query) =
+  put_name buf q.qname;
+  put_u16 buf (rtype_to_int q.qtype);
+  put_u16 buf 1 (* class IN *)
+
+let put_rr buf (r : Rr.t) =
+  put_name buf r.owner;
+  put_u16 buf (rtype_to_int r.rtype);
+  put_u16 buf 1;
+  put_u32 buf 300 (* ttl *);
+  put_rdata buf r
+
+let check_count n =
+  if n > 0xffff then invalid_arg "Wire.encode: section count over 16 bits"
+
+let encode m =
+  let buf = Buffer.create 128 in
+  put_u16 buf (m.header.id land 0xffff);
+  let flags =
+    ((if m.header.qr then 1 else 0) lsl 15)
+    lor ((m.header.opcode land 0xf) lsl 11)
+    lor ((if m.header.aa then 1 else 0) lsl 10)
+    lor ((if m.header.tc then 1 else 0) lsl 9)
+    lor ((if m.header.rd then 1 else 0) lsl 8)
+    lor ((if m.header.ra then 1 else 0) lsl 7)
+    lor (m.header.rcode land 0xf)
+  in
+  put_u16 buf flags;
+  check_count (List.length m.question);
+  check_count (List.length m.answer);
+  check_count (List.length m.authority);
+  check_count (List.length m.additional);
+  put_u16 buf (List.length m.question);
+  put_u16 buf (List.length m.answer);
+  put_u16 buf (List.length m.authority);
+  put_u16 buf (List.length m.additional);
+  List.iter (put_question buf) m.question;
+  List.iter (put_rr buf) m.answer;
+  List.iter (put_rr buf) m.authority;
+  List.iter (put_rr buf) m.additional;
+  Buffer.contents buf
+
+(* ----- decoding ----- *)
+
+exception Malformed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+type cursor = { data : string; mutable pos : int }
+
+let u8 c =
+  if c.pos >= String.length c.data then fail "truncated at %d" c.pos;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  let hi = u8 c in
+  let lo = u8 c in
+  (hi lsl 8) lor lo
+
+let u32 c =
+  let hi = u16 c in
+  let lo = u16 c in
+  (hi lsl 16) lor lo
+
+let take c n =
+  if c.pos + n > String.length c.data then fail "truncated rdata at %d" c.pos;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+(* names, with compression-pointer following and a hop guard *)
+let name c =
+  let rec go pos hops acc =
+    if hops > 32 then fail "compression pointer loop";
+    if pos >= String.length c.data then fail "truncated name";
+    let len = Char.code c.data.[pos] in
+    if len = 0 then (List.rev acc, pos + 1)
+    else if len land 0xc0 = 0xc0 then begin
+      if pos + 1 >= String.length c.data then fail "truncated pointer";
+      let target = ((len land 0x3f) lsl 8) lor Char.code c.data.[pos + 1] in
+      let labels, _ = go target (hops + 1) acc in
+      (labels, pos + 2)
+    end
+    else begin
+      if pos + 1 + len > String.length c.data then fail "truncated label";
+      let label = String.sub c.data (pos + 1) len in
+      go (pos + 1 + len) hops (label :: acc)
+    end
+  in
+  let labels, next = go c.pos 0 [] in
+  c.pos <- next;
+  labels
+
+let question c =
+  let qname = name c in
+  let t = u16 c in
+  let _class = u16 c in
+  match rtype_of_int t with
+  | Some qtype -> { Message.qname; qtype }
+  | None -> fail "unknown qtype %d" t
+
+let rr c =
+  let owner = name c in
+  let t = u16 c in
+  let _class = u16 c in
+  let _ttl = u32 c in
+  let rdlen = u16 c in
+  let stop = c.pos + rdlen in
+  match rtype_of_int t with
+  | None -> fail "unknown rtype %d" t
+  | Some rtype ->
+      let rdata =
+        match rtype with
+        | Rr.NS | Rr.CNAME | Rr.DNAME -> Rr.Target (name c)
+        | Rr.A | Rr.AAAA ->
+            let bytes = take c rdlen in
+            if String.length bytes < 4 then fail "short address";
+            Rr.Address
+              (Printf.sprintf "%d.%d.%d.%d" (Char.code bytes.[0])
+                 (Char.code bytes.[1]) (Char.code bytes.[2]) (Char.code bytes.[3]))
+        | Rr.TXT ->
+            let len = u8 c in
+            Rr.Text (take c len)
+        | Rr.SOA ->
+            let _mname = name c in
+            let _rname = name c in
+            let _ = u32 c and _ = u32 c and _ = u32 c and _ = u32 c and _ = u32 c in
+            Rr.Soa_data
+      in
+      if c.pos <> stop then c.pos <- stop;
+      Rr.v owner rtype rdata
+
+let decode data =
+  let c = { data; pos = 0 } in
+  match
+    let id = u16 c in
+    let flags = u16 c in
+    let qd = u16 c and an = u16 c and ns = u16 c and ar = u16 c in
+    let header =
+      {
+        id;
+        qr = flags land 0x8000 <> 0;
+        opcode = (flags lsr 11) land 0xf;
+        aa = flags land 0x0400 <> 0;
+        tc = flags land 0x0200 <> 0;
+        rd = flags land 0x0100 <> 0;
+        ra = flags land 0x0080 <> 0;
+        rcode = flags land 0xf;
+      }
+    in
+    let question = List.init qd (fun _ -> question c) in
+    let answer = List.init an (fun _ -> rr c) in
+    let authority = List.init ns (fun _ -> rr c) in
+    let additional = List.init ar (fun _ -> rr c) in
+    { header; question; answer; authority; additional }
+  with
+  | m -> Ok m
+  | exception Malformed msg -> Error msg

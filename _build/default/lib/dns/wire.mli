@@ -1,0 +1,48 @@
+(** DNS wire format (RFC 1035 §4): encoding and decoding of messages.
+
+    This is the layer a real deployment of the test harness speaks to
+    nameservers over UDP sockets; the reproduction's differential
+    testing drives the in-process implementations directly, but the
+    codec is exercised by round-trip tests and lets the harness
+    serialise its queries and parse real responses unchanged.
+
+    Supported: the 12-byte header, QD/AN/NS/AR sections, uncompressed
+    and compressed (pointer) names on decode, A/AAAA/NS/TXT/CNAME/
+    DNAME/SOA RDATA. Encoding never emits compression pointers (legal,
+    if larger). *)
+
+type header = {
+  id : int;  (** 16-bit query identifier *)
+  qr : bool;  (** response flag *)
+  opcode : int;
+  aa : bool;
+  tc : bool;
+  rd : bool;
+  ra : bool;
+  rcode : int;
+}
+
+type message = {
+  header : header;
+  question : Message.query list;
+  answer : Rr.t list;
+  authority : Rr.t list;
+  additional : Rr.t list;
+}
+
+val of_response : id:int -> Message.query -> Message.response -> message
+(** Wrap a lookup response as a wire message. *)
+
+val to_response : message -> Message.response
+(** Project the sections back; unknown rcodes map to SERVFAIL. *)
+
+val encode : message -> string
+(** Serialise to wire bytes. @raise Invalid_argument on labels over 63
+    bytes or counts over 16 bits. *)
+
+val decode : string -> (message, string) result
+(** Parse wire bytes, following compression pointers (with a loop
+    guard). *)
+
+val rcode_to_int : Message.rcode -> int
+val rcode_of_int : int -> Message.rcode

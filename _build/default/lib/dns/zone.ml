@@ -1,0 +1,80 @@
+type t = { origin : Name.t; records : Rr.t list }
+
+let v origin records = { origin; records }
+
+let records_at zone name =
+  List.filter (fun (r : Rr.t) -> Name.equal r.owner name) zone.records
+
+let in_zone zone name = Name.is_suffix ~suffix:zone.origin name
+
+let node_exists zone name =
+  List.exists
+    (fun (r : Rr.t) ->
+      Name.equal r.owner name || Name.is_proper_suffix ~suffix:name r.owner)
+    zone.records
+
+let delegation_of zone name =
+  (* candidate cuts: NS owners strictly below origin that are ancestors
+     of (or equal to) the name; choose the shallowest (closest to the
+     root of the zone), which is the cut a resolver would hit first *)
+  let cuts =
+    List.filter
+      (fun (r : Rr.t) ->
+        r.rtype = Rr.NS
+        && (not (Name.equal r.owner zone.origin))
+        && Name.is_suffix ~suffix:r.owner name
+        && Name.is_proper_suffix ~suffix:zone.origin r.owner)
+      zone.records
+  in
+  match cuts with
+  | [] -> None
+  | _ ->
+      let owners = List.sort_uniq Name.compare (List.map (fun (r : Rr.t) -> r.owner) cuts) in
+      let shallowest =
+        List.fold_left
+          (fun best o ->
+            if Name.label_count o < Name.label_count best then o else best)
+          (List.hd owners) owners
+      in
+      Some
+        ( shallowest,
+          List.filter (fun (r : Rr.t) -> Name.equal r.owner shallowest) cuts )
+
+let glue_for zone targets =
+  List.filter
+    (fun (r : Rr.t) ->
+      (r.rtype = Rr.A || r.rtype = Rr.AAAA)
+      && List.exists (Name.equal r.owner) targets)
+    zone.records
+
+let wildcards_matching zone name =
+  let matching =
+    List.filter
+      (fun (r : Rr.t) ->
+        Name.is_wildcard r.owner && Name.wildcard_matches ~wildcard:r.owner name)
+      zone.records
+  in
+  List.stable_sort
+    (fun (a : Rr.t) (b : Rr.t) ->
+      compare (Name.label_count b.owner) (Name.label_count a.owner))
+    matching
+
+let validate zone =
+  let apex = records_at zone zone.origin in
+  if not (List.exists (fun (r : Rr.t) -> r.rtype = Rr.SOA) apex) then
+    Error "no SOA record at the zone apex"
+  else if not (List.exists (fun (r : Rr.t) -> r.rtype = Rr.NS) apex) then
+    Error "no NS record at the zone apex"
+  else if List.exists (fun (r : Rr.t) -> not (in_zone zone r.owner)) zone.records
+  then Error "record owner outside the zone"
+  else begin
+    let rec dup = function
+      | [] -> false
+      | r :: rest -> List.exists (Rr.equal r) rest || dup rest
+    in
+    if dup zone.records then Error "duplicate records" else Ok ()
+  end
+
+let pp ppf zone =
+  Format.fprintf ppf "$ORIGIN %s@." (Name.to_string zone.origin);
+  List.iter (fun r -> Format.fprintf ppf "%a@." Rr.pp r) zone.records

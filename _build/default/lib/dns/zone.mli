@@ -1,0 +1,36 @@
+(** Authoritative zones. *)
+
+type t = { origin : Name.t; records : Rr.t list }
+
+val v : Name.t -> Rr.t list -> t
+
+val records_at : t -> Name.t -> Rr.t list
+(** Records whose owner equals the name exactly. *)
+
+val node_exists : t -> Name.t -> bool
+(** The name owns records, or is an empty non-terminal (a proper
+    ancestor of some owner within the zone). *)
+
+val in_zone : t -> Name.t -> bool
+(** The name is at or below the origin. *)
+
+val delegation_of : t -> Name.t -> (Name.t * Rr.t list) option
+(** The closest zone cut strictly between origin and the name: an owner
+    [< name], below origin, with NS records, that is an ancestor of (or
+    equal to) the name and is not the origin. Returns the cut owner and
+    its NS records. *)
+
+val glue_for : t -> Name.t list -> Rr.t list
+(** A/AAAA records in the zone for the given nameserver targets,
+    including "sibling glue" (glue living beside, not below, the
+    cut). *)
+
+val wildcards_matching : t -> Name.t -> Rr.t list
+(** Wildcard-owned records matching the name (RFC 4592 semantics),
+    deepest wildcard first. *)
+
+val validate : t -> (unit, string) result
+(** Paper-style validity: a SOA at the apex, at least one NS at the
+    apex, every record in-zone, no duplicate records. *)
+
+val pp : Format.formatter -> t -> unit

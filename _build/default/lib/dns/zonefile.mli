@@ -1,0 +1,28 @@
+(** Zone file rendering, parsing, and the test post-processing step of
+    §2.3: turning raw Eywa test inputs into valid zones (adding the
+    SOA and NS records a real server requires, and re-rooting the
+    model's short names under a common suffix). *)
+
+val print : Zone.t -> string
+(** Textual master-file-style rendering (one record per line, with a
+    [$ORIGIN] header). *)
+
+val parse : string -> (Zone.t, string) result
+(** Parse the output of {!print} (requires the [$ORIGIN] header). *)
+
+val default_suffix : Name.t
+(** [test.] *)
+
+type test_record = { rname : string; rtype : Rr.rtype; rdata : string }
+(** A record as it appears in an Eywa test: short relative names. *)
+
+val build_zone :
+  ?suffix:Name.t -> ?extra_delegation:bool -> test_record list -> Zone.t
+(** Re-root each record under [suffix], convert name-typed rdata the
+    same way, and add the apex SOA and NS (with an out-of-zone
+    nameserver target, as in §2.3). [extra_delegation] additionally
+    installs a child zone cut with in-zone glue — the setup that
+    exercises sibling-glue behaviour. *)
+
+val build_query : ?suffix:Name.t -> string -> Rr.rtype -> Message.query
+(** Re-root a test query name the same way. *)

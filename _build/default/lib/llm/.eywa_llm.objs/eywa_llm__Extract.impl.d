@@ -1,0 +1,1 @@
+lib/llm/extract.ml: Eywa_minic Eywa_stategraph List Printf String

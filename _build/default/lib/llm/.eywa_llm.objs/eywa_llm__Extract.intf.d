@@ -1,0 +1,1 @@
+lib/llm/extract.mli: Eywa_stategraph

@@ -1,0 +1,1 @@
+lib/llm/gpt.ml: Extract Eywa_core Eywa_minic Kb_bgp Kb_dns Kb_smtp Kb_tcp List Mutate Printf Prompt_parse Rng String

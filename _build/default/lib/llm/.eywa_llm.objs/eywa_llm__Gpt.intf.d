@@ -1,0 +1,1 @@
+lib/llm/gpt.mli: Eywa_core

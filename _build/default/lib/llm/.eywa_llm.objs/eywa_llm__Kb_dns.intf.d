@@ -1,0 +1,1 @@
+lib/llm/kb_dns.mli:

@@ -1,0 +1,1 @@
+lib/llm/mutate.ml: Eywa_minic List Option Rng

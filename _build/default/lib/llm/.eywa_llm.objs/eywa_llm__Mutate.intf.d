@@ -1,0 +1,1 @@
+lib/llm/mutate.mli: Eywa_minic Rng

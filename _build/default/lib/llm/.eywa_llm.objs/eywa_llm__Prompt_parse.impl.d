@@ -1,0 +1,1 @@
+lib/llm/prompt_parse.ml: Eywa_minic List Printf

@@ -1,0 +1,1 @@
+lib/llm/prompt_parse.mli: Eywa_minic

@@ -1,0 +1,1 @@
+lib/llm/rng.ml: Char Int64 List String

@@ -1,0 +1,187 @@
+module Ast = Eywa_minic.Ast
+module Parser = Eywa_minic.Parser
+
+type transition = (string * string) * string
+
+(* Find the state-machine function: it has an enum parameter and a
+   string parameter. *)
+let find_machine (p : Ast.program) =
+  List.find_opt
+    (fun (f : Ast.func) ->
+      List.exists (fun (t, _) -> match t with Ast.Tenum _ -> true | _ -> false)
+        f.params
+      && List.exists (fun (t, _) -> t = Ast.Tstring) f.params)
+    p.Ast.funcs
+
+(* The parser leaves enum members as bare variables; resolve them
+   against the program's enum declarations. *)
+let as_enum_member program (e : Ast.expr) =
+  match e with
+  | Ast.Eenum m -> Some m
+  | Ast.Evar x -> (
+      match Ast.enum_member_index program x with
+      | Some _ -> Some x
+      | None -> None)
+  | _ -> None
+
+(* Enum members named by [state == M] comparisons in a condition,
+   following || disjunctions. [state_var] is the enum parameter. *)
+let rec guard_states program state_var (e : Ast.expr) =
+  match e with
+  | Ast.Ebinop (Ast.Eq, Ast.Evar v, rhs) when v = state_var -> (
+      match as_enum_member program rhs with Some m -> [ m ] | None -> [])
+  | Ast.Ebinop (Ast.Eq, lhs, Ast.Evar v) when v = state_var -> (
+      match as_enum_member program lhs with Some m -> [ m ] | None -> [])
+  | Ast.Ebinop (Ast.Lor, a, b) ->
+      guard_states program state_var a @ guard_states program state_var b
+  | _ -> []
+
+(* The input literal of a [strcmp(input, "c") == 0] (or strncmp) test. *)
+let guard_input input_var (e : Ast.expr) =
+  match e with
+  | Ast.Ebinop
+      (Ast.Eq, Ast.Ecall (("strcmp" | "strncmp"), Ast.Evar v :: Ast.Estr s :: _), Ast.Eint 0)
+    when v = input_var ->
+      Some s
+  | Ast.Ebinop
+      (Ast.Eq, Ast.Eint 0, Ast.Ecall (("strcmp" | "strncmp"), Ast.Evar v :: Ast.Estr s :: _))
+    when v = input_var ->
+      Some s
+  | _ -> None
+
+let transitions_of_func program (f : Ast.func) =
+  let state_var =
+    List.find_map
+      (fun (t, n) -> match t with Ast.Tenum _ -> Some n | _ -> None)
+      f.params
+  in
+  let input_var =
+    List.find_map (fun (t, n) -> if t = Ast.Tstring then Some n else None) f.params
+  in
+  match (state_var, input_var) with
+  | None, _ | _, None -> Error "function has no (state, input) parameters"
+  | Some state_var, Some input_var ->
+      let out = ref [] in
+      let add states input next =
+        match input with
+        | None -> ()
+        | Some input ->
+            List.iter
+              (fun s ->
+                if not (List.mem_assoc (s, input) !out) then
+                  out := !out @ [ ((s, input), next) ])
+              states
+      in
+      let rec walk ~states ~input stmts =
+        List.iter
+          (fun s ->
+            match s with
+            | Ast.Sassign (Ast.Lvar v, rhs) when v = state_var -> (
+                match as_enum_member program rhs with
+                | Some m -> add states input m
+                | None -> ())
+            | Ast.Sif (cond, then_, else_) ->
+                let cond_states = guard_states program state_var cond in
+                let cond_input = guard_input input_var cond in
+                let states' = if cond_states = [] then states else cond_states in
+                let input' = match cond_input with Some _ -> cond_input | None -> input in
+                walk ~states:states' ~input:input' then_;
+                walk ~states ~input else_
+            | Ast.Swhile (_, body) -> walk ~states ~input body
+            | Ast.Sfor (_, _, _, body) -> walk ~states ~input body
+            | Ast.Sdecl _ | Ast.Sassign _ | Ast.Sreturn _ | Ast.Sexpr _
+            | Ast.Sbreak | Ast.Scontinue ->
+                ())
+          stmts
+      in
+      walk ~states:[] ~input:None f.body;
+      Ok !out
+
+let transitions_of_code source =
+  match Parser.parse_result source with
+  | Error m -> Error m
+  | Ok p -> (
+      match find_machine p with
+      | None -> Error "no state-machine function found"
+      | Some f -> transitions_of_func p f)
+
+let to_pydict transitions =
+  let entry (((s, i), s') : transition) =
+    Printf.sprintf "  (\"%s\", \"%s\"): \"%s\"," s i s'
+  in
+  String.concat "\n"
+    ([ "state_transitions = {" ] @ List.map entry transitions @ [ "}" ])
+
+(* A small scanner for the dict text: tuples of two quoted strings
+   mapping to a quoted string. *)
+let parse_pydict text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let error msg = Error (Printf.sprintf "pydict: %s at %d" msg !pos) in
+  let skip_ws () =
+    while
+      !pos < n
+      && (text.[!pos] = ' ' || text.[!pos] = '\n' || text.[!pos] = '\t'
+          || text.[!pos] = '\r' || text.[!pos] = ',')
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos < n && text.[!pos] = c then begin
+      incr pos;
+      true
+    end
+    else false
+  in
+  let quoted () =
+    skip_ws ();
+    if !pos >= n || text.[!pos] <> '"' then None
+    else begin
+      incr pos;
+      let start = !pos in
+      while !pos < n && text.[!pos] <> '"' do incr pos done;
+      if !pos >= n then None
+      else begin
+        let s = String.sub text start (!pos - start) in
+        incr pos;
+        Some s
+      end
+    end
+  in
+  match String.index_opt text '{' with
+  | None -> Error "pydict: no opening brace"
+  | Some start ->
+      pos := start + 1;
+      let out = ref [] in
+      let rec entries () =
+        skip_ws ();
+        if !pos < n && text.[!pos] = '}' then Ok (List.rev !out)
+        else if not (expect '(') then error "expected '('"
+        else
+          match quoted () with
+          | None -> error "expected state string"
+          | Some s -> (
+              match quoted () with
+              | None -> error "expected input string"
+              | Some i ->
+                  if not (expect ')') then error "expected ')'"
+                  else if not (expect ':') then error "expected ':'"
+                  else
+                    match quoted () with
+                    | None -> error "expected next-state string"
+                    | Some s' ->
+                        out := ((s, i), s') :: !out;
+                        entries ())
+      in
+      entries ()
+
+let state_graph source =
+  match transitions_of_code source with
+  | Error m -> Error m
+  | Ok transitions -> (
+      (* round-trip through the textual response, as Eywa does *)
+      match parse_pydict (to_pydict transitions) with
+      | Error m -> Error m
+      | Ok parsed -> Ok (Eywa_stategraph.Stategraph.of_list parsed))

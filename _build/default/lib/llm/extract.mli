@@ -1,0 +1,28 @@
+(** State-graph extraction from generated server code (paper Fig. 8).
+
+    The paper issues a second LLM call: "create a Python dictionary
+    that maps the state transitions (state, input) -> state as per the
+    following C code". The simulated LLM answers the same request by
+    statically analysing the C code it generated: it walks the
+    if/else-if structure, tracking which [state == S] guards and
+    [strcmp(input, "c") == 0] tests dominate each [state = S']
+    assignment. The response is rendered as the same Python-dict text,
+    and Eywa parses that text back — keeping both sides of the
+    conversation string-typed, as in the paper. *)
+
+type transition = (string * string) * string
+(** ((state, input), next_state) *)
+
+val transitions_of_code : string -> (transition list, string) result
+(** Analyse C source containing a state-machine function (an enum
+    [state] parameter and a string [input] parameter). *)
+
+val to_pydict : transition list -> string
+(** Render as the Fig. 8 response text. *)
+
+val parse_pydict : string -> (transition list, string) result
+(** Parse a Fig. 8-style response back into transitions. *)
+
+val state_graph : string -> (Eywa_stategraph.Stategraph.t, string) result
+(** The full round trip: code -> transitions -> dict text -> parsed
+    graph, mirroring how Eywa consumes the second LLM call. *)

@@ -1,0 +1,154 @@
+module Ast = Eywa_minic.Ast
+module Parser = Eywa_minic.Parser
+module Pretty = Eywa_minic.Pretty
+
+type config = { fail_rate : float; knowledge : (string * string) list }
+
+let default_config =
+  {
+    fail_rate = 0.004;
+    knowledge = Kb_dns.entries @ Kb_bgp.entries @ Kb_smtp.entries @ Kb_tcp.entries;
+  }
+
+let knows config name = List.mem_assoc name config.knowledge
+
+(* Completion text: echo the headers, type definitions and helper
+   prototypes from the prompt (the system prompt demands it), then the
+   implementation. *)
+let render (task : Prompt_parse.task) funcs =
+  let headers = "#include <stdint.h>\n#include <stdbool.h>\n#include <string.h>" in
+  String.concat "\n\n"
+    ([ headers ]
+    @ List.map Pretty.enum_def task.enums
+    @ List.map Pretty.struct_def task.structs
+    @ List.map Pretty.proto task.helpers
+    @ List.map Pretty.func funcs)
+  ^ "\n"
+
+(* Parse a knowledge-base template in the context of the task's type
+   definitions (templates reference Record, Zone, ... without declaring
+   them). *)
+let parse_template (task : Prompt_parse.task) template =
+  let prefix =
+    String.concat "\n"
+      (List.map Pretty.enum_def task.enums
+      @ List.map Pretty.struct_def task.structs
+      @ List.map Pretty.proto task.helpers)
+  in
+  match Parser.parse_result (prefix ^ "\n" ^ template) with
+  | Error m -> Error m
+  | Ok p -> Ok p.Ast.funcs
+
+(* A generic guess for a function outside the knowledge base: return a
+   default value of the right type. Models the LLM's behaviour on
+   protocols it was never trained on. *)
+let stub_body (task : Prompt_parse.task) =
+  let ret = task.target.Ast.ret in
+  match ret with
+  | Ast.Tvoid -> [ Ast.Sreturn None ]
+  | Ast.Tbool -> [ Ast.Sreturn (Some (Ast.Ebool false)) ]
+  | Ast.Tchar -> [ Ast.Sreturn (Some (Ast.Echar 'a')) ]
+  | Ast.Tint _ -> [ Ast.Sreturn (Some (Ast.Eint 0)) ]
+  | Ast.Tenum ename -> (
+      match List.find_opt (fun (e : Ast.enum_def) -> e.ename = ename) task.enums with
+      | Some e when e.members <> [] ->
+          [ Ast.Sreturn (Some (Ast.Eenum (List.hd e.members))) ]
+      | Some _ | None -> [ Ast.Sreturn (Some (Ast.Eint 0)) ])
+  | Ast.Tstring ->
+      [
+        Ast.Sdecl (Ast.Tstring, "result", None);
+        Ast.Sreturn (Some (Ast.Evar "result"));
+      ]
+  | Ast.Tstruct _ ->
+      [
+        Ast.Sdecl (ret, "result", None);
+        Ast.Sreturn (Some (Ast.Evar "result"));
+      ]
+  | Ast.Tarray _ ->
+      [
+        Ast.Sdecl (ret, "result", None);
+        Ast.Sreturn (Some (Ast.Evar "result"));
+      ]
+
+(* The sabotaged completion: syntactically fine, but calls strtok,
+   which the pipeline's compiler stage rejects. *)
+let sabotage (task : Prompt_parse.task) =
+  let body =
+    [
+      Ast.Sdecl (Ast.Tstring, "token", None);
+      Ast.Sexpr (Ast.Ecall ("strtok", [ Ast.Evar "token"; Ast.Estr "." ]));
+    ]
+    @ stub_body task
+  in
+  { task.target with Ast.body; doc = [] }
+
+(* LLM completions vary in how much prose they attach; a seeded number
+   of comment lines gives each draw a different line count, which is
+   where Table 2's LoC min/max spread comes from. *)
+let commentary rng temperature name =
+  let pool =
+    [
+      Printf.sprintf "Implementation of %s." name;
+      "This follows the behaviour described in the RFC.";
+      "Edge cases are handled explicitly below.";
+      "Inputs are assumed to satisfy the documented preconditions.";
+      "The comparison walks the data from the end, which is simpler here.";
+      "Returns early as soon as the result is known.";
+    ]
+  in
+  let max_lines = int_of_float (temperature *. 6.0) in
+  let count = if max_lines <= 0 then 0 else Rng.int rng (max_lines + 1) in
+  List.filteri (fun i _ -> i < count) pool
+
+let complete config (req : Eywa_core.Oracle.request) =
+  match Prompt_parse.parse req.user with
+  | Error m -> Printf.sprintf "// unable to understand the request: %s\n" m
+  | Ok task -> (
+      let name = task.target.Ast.fname in
+      let rng = Rng.of_string req.seed name in
+      if Rng.bool rng config.fail_rate then render task [ sabotage task ]
+      else
+        (* several structurally different drafts may be known for one
+           function; the seed picks which one this sample writes *)
+        let candidates =
+          List.filter_map
+            (fun (n, tpl) -> if n = name then Some tpl else None)
+            config.knowledge
+        in
+        match candidates with
+        | [] -> render task [ { task.target with Ast.body = stub_body task; doc = [] } ]
+        | _ :: _ -> (
+            (* greedy decoding at tau = 0 always emits the canonical
+               draft; sampling picks among the known structures *)
+            let template =
+              if req.temperature <= 0.0 then List.hd candidates
+              else Rng.pick rng candidates
+            in
+            match parse_template task template with
+            | Error _ ->
+                (* a template that does not parse in this type context is
+                   treated as unknown *)
+                render task [ { task.target with Ast.body = stub_body task; doc = [] } ]
+            | Ok funcs ->
+                let mutated =
+                  List.map
+                    (fun (f : Ast.func) ->
+                      if f.fname = name then begin
+                        let f, _ =
+                          Mutate.mutate ~enums:task.enums ~rng
+                            ~temperature:req.temperature f
+                        in
+                        { f with Ast.doc = commentary rng req.temperature name }
+                      end
+                      else f)
+                    funcs
+                in
+                render task mutated))
+
+let oracle ?(config = default_config) () =
+  Eywa_core.Oracle.make ~name:"gpt4-simulated" (complete config)
+
+let complete_stategraph code =
+  match Extract.transitions_of_code code with
+  | Error _ -> "state_transitions = {\n}"
+  | Ok transitions -> Extract.to_pydict transitions

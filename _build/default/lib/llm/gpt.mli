@@ -1,0 +1,38 @@
+(** The simulated LLM (the paper's GPT-4 on Azure OpenAI).
+
+    Receives prompt text, answers with C source text. Behaviour:
+
+    - The user prompt is parsed to recover the completion task.
+    - If the target function is in the protocol knowledge base (DNS,
+      BGP, SMTP — the protocols GPT-4 "knows well", §2.4), the
+      reference implementation is drawn and then perturbed by seeded,
+      temperature-scaled mutations ({!Mutate}), so distinct (seed,
+      temperature) draws yield distinct, occasionally-wrong models.
+    - Unknown functions get a generic stub completion, modelling a
+      protocol outside the LLM's knowledge (§2.4's limitation).
+    - With a small probability, the completion uses [strtok] — the
+      banned function — and therefore fails to compile, reproducing the
+      paper's single non-compiling model out of all experiments.
+
+    Everything is deterministic in (prompt, seed, temperature). *)
+
+type config = {
+  fail_rate : float;  (** probability of a non-compiling completion *)
+  knowledge : (string * string) list;  (** function name -> C template *)
+}
+
+val default_config : config
+(** fail_rate = 0.004 and the full DNS+BGP+SMTP knowledge base. *)
+
+val oracle : ?config:config -> unit -> Eywa_core.Oracle.t
+
+val complete : config -> Eywa_core.Oracle.request -> string
+(** The raw completion function behind {!oracle}. *)
+
+val complete_stategraph : string -> string
+(** The second LLM call (Fig. 8): given C server code, answer with the
+    Python-dict transition text. Falls back to an empty dict when the
+    code cannot be analysed. *)
+
+val knows : config -> string -> bool
+(** Whether the knowledge base has an entry for this function name. *)

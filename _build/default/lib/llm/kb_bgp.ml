@@ -1,0 +1,249 @@
+(* BGP protocol knowledge of the simulated LLM. Prefixes are scaled to
+   4 bits (the model bounds every input type anyway), so subnet masking
+   is expressible without bitwise operators: prefixLengthToSubnetMask
+   returns the divisor 2^(4-len) and two prefixes agree under a mask
+   when their quotients agree. The shapes mirror the paper's Fig. 11
+   and Fig. 12 modules. *)
+
+let prefix_length_to_subnet_mask =
+  {|
+uint32_t prefixLengthToSubnetMask(uint32_t maskLength) {
+  uint32_t divisor = 1;
+  for (uint32_t i = maskLength; i < 4; i++) {
+    divisor = divisor * 2;
+  }
+  return divisor;
+}
+|}
+
+let is_valid_route =
+  {|
+bool isValidRoute(Route route) {
+  if (route.plen > 4) {
+    return false;
+  }
+  uint32_t divisor = prefixLengthToSubnetMask(route.plen);
+  if (route.prefix % divisor != 0) {
+    return false;
+  }
+  return true;
+}
+|}
+
+let is_valid_prefix_list =
+  {|
+bool isValidPrefixList(PrefixListEntry pfe) {
+  if (pfe.plen > 4) {
+    return false;
+  }
+  if (pfe.ge > 4 || pfe.le > 4) {
+    return false;
+  }
+  if (pfe.ge != 0 && pfe.ge < pfe.plen) {
+    return false;
+  }
+  if (pfe.le != 0 && pfe.ge != 0 && pfe.le < pfe.ge) {
+    return false;
+  }
+  uint32_t divisor = prefixLengthToSubnetMask(pfe.plen);
+  if (pfe.prefix % divisor != 0) {
+    return false;
+  }
+  return true;
+}
+|}
+
+let check_valid_inputs =
+  {|
+bool checkValidInputs(Route route, PrefixListEntry pfe) {
+  if (!isValidRoute(route)) {
+    return false;
+  }
+  if (!isValidPrefixList(pfe)) {
+    return false;
+  }
+  return true;
+}
+|}
+
+(* Prefix-list entry matching, including le/ge mask-length ranges — the
+   feature whose mishandling MESSI and Eywa both flagged in FRR and
+   GoBGP. *)
+let is_match_prefix_list_entry =
+  {|
+bool isMatchPrefixListEntry(Route route, PrefixListEntry pfe) {
+  if (pfe.any) {
+    return pfe.permit;
+  }
+  uint32_t divisor = prefixLengthToSubnetMask(pfe.plen);
+  if (route.prefix / divisor != pfe.prefix / divisor) {
+    return false;
+  }
+  if (pfe.ge == 0 && pfe.le == 0) {
+    if (route.plen != pfe.plen) {
+      return false;
+    }
+    return pfe.permit;
+  }
+  if (pfe.ge != 0 && route.plen < pfe.ge) {
+    return false;
+  }
+  if (pfe.le != 0 && route.plen > pfe.le) {
+    return false;
+  }
+  if (pfe.ge == 0 && pfe.le != 0 && route.plen < pfe.plen) {
+    return false;
+  }
+  return pfe.permit;
+}
+|}
+
+let is_match_route_map_stanza =
+  {|
+bool isMatchRouteMapStanza(Route route, PrefixListEntry pfe) {
+  bool matched = isMatchPrefixListEntry(route, pfe);
+  if (!matched) {
+    return false;
+  }
+  return true;
+}
+|}
+
+(* Confederation session-type decision: the setting in which Eywa found
+   the sub-AS == external peer-AS confusion (§4.3 insight 4). *)
+let confed_action =
+  {|
+SessionType confed_action(uint8_t peer_as, uint8_t my_sub_as, uint8_t confed_id, bool peer_in_confed) {
+  if (peer_in_confed) {
+    if (peer_as == my_sub_as) {
+      return IBGP;
+    }
+    return EBGP_CONFED;
+  }
+  if (peer_as == my_sub_as) {
+    return IBGP;
+  }
+  if (peer_as == confed_id) {
+    return REJECT;
+  }
+  return EBGP;
+}
+|}
+
+(* Route-reflector propagation rules: a route learned from a client or
+   an external peer is reflected to everyone; from a non-client, only
+   to clients and external peers. *)
+let rr_action =
+  {|
+bool rr_action(PeerType from_peer, PeerType to_peer) {
+  if (from_peer == EBGP_PEER) {
+    return true;
+  }
+  if (from_peer == CLIENT) {
+    return true;
+  }
+  if (to_peer == CLIENT) {
+    return true;
+  }
+  if (to_peer == EBGP_PEER) {
+    return true;
+  }
+  return false;
+}
+|}
+
+(* Route reflection combined with an export route-map (the RR-RMAP
+   model): the route must both pass the policy and be reflectable. *)
+let rr_rmap_action =
+  {|
+bool rr_rmap_action(Route route, PrefixListEntry pfe, PeerType from_peer, PeerType to_peer) {
+  if (!isMatchPrefixListEntry(route, pfe)) {
+    return false;
+  }
+  if (!rr_action(from_peer, to_peer)) {
+    return false;
+  }
+  return true;
+}
+|}
+
+(* Alternative drafts (structure varies across samples, as with a real
+   LLM; see Kb_dns for the mechanism). *)
+
+let confed_action_nested =
+  {|
+SessionType confed_action(uint8_t peer_as, uint8_t my_sub_as, uint8_t confed_id, bool peer_in_confed) {
+  // Nested-conditional phrasing of the same decision procedure.
+  if (peer_as == my_sub_as) {
+    return IBGP;
+  } else {
+    if (peer_in_confed) {
+      return EBGP_CONFED;
+    } else {
+      if (peer_as == confed_id) {
+        return REJECT;
+      } else {
+        return EBGP;
+      }
+    }
+  }
+}
+|}
+
+let rr_action_table =
+  {|
+bool rr_action(PeerType from_peer, PeerType to_peer) {
+  // Routes from clients and external peers go everywhere; from
+  // non-clients only to clients and external peers.
+  bool from_internal_nonclient = from_peer == NONCLIENT;
+  bool to_internal_nonclient = to_peer == NONCLIENT;
+  if (!from_internal_nonclient) {
+    return true;
+  }
+  if (!to_internal_nonclient) {
+    return true;
+  }
+  return false;
+}
+|}
+
+let is_match_pfe_early_any =
+  {|
+bool isMatchPrefixListEntry(Route route, PrefixListEntry pfe) {
+  bool matched = false;
+  if (pfe.any) {
+    matched = true;
+  } else {
+    uint32_t divisor = prefixLengthToSubnetMask(pfe.plen);
+    if (route.prefix / divisor == pfe.prefix / divisor) {
+      if (pfe.ge == 0 && pfe.le == 0) {
+        matched = route.plen == pfe.plen;
+      } else {
+        bool ge_ok = pfe.ge == 0 || route.plen >= pfe.ge;
+        bool le_ok = pfe.le == 0 || route.plen <= pfe.le;
+        matched = ge_ok && le_ok;
+      }
+    }
+  }
+  if (matched) {
+    return pfe.permit;
+  }
+  return false;
+}
+|}
+
+let entries =
+  [
+    ("prefixLengthToSubnetMask", prefix_length_to_subnet_mask);
+    ("confed_action", confed_action_nested);
+    ("rr_action", rr_action_table);
+    ("isMatchPrefixListEntry", is_match_pfe_early_any);
+    ("isValidRoute", is_valid_route);
+    ("isValidPrefixList", is_valid_prefix_list);
+    ("checkValidInputs", check_valid_inputs);
+    ("isMatchPrefixListEntry", is_match_prefix_list_entry);
+    ("isMatchRouteMapStanza", is_match_route_map_stanza);
+    ("confed_action", confed_action);
+    ("rr_action", rr_action);
+    ("rr_rmap_action", rr_rmap_action);
+  ]

@@ -1,0 +1,389 @@
+(* DNS protocol knowledge of the simulated LLM: reference C
+   implementations for each module the DNS case study asks for (§4.2,
+   Table 2). These reproduce the character of GPT-4's actual output as
+   reported by the paper — notably "first-match" semantics rather than
+   the RFC's closest-encloser for full lookup, and straightforward
+   per-record matching logic for the single-record models. *)
+
+(* Exact-match CNAME logic: a CNAME record applies when the owner name
+   equals the query exactly. *)
+let cname_applies =
+  {|
+bool cname_applies(char* query, Record record) {
+  if (record.rtyp != CNAME) {
+    return false;
+  }
+  return strcmp(query, record.name) == 0;
+}
+|}
+
+(* DNAME suffix logic (paper Fig. 2, with the length comparison written
+   correctly; the historic l2 > l1 slip is one mutation away). *)
+let dname_applies =
+  {|
+bool dname_applies(char* query, Record record) {
+  if (record.rtyp != DNAME) {
+    return false;
+  }
+  int l1 = strlen(query);
+  int l2 = strlen(record.name);
+  if (l2 >= l1) {
+    return false;
+  }
+  for (int i = 1; i <= l2; i++) {
+    if (query[l1 - i] != record.name[l2 - i]) {
+      return false;
+    }
+  }
+  if (query[l1 - l2 - 1] == '.') {
+    return true;
+  }
+  return false;
+}
+|}
+
+(* The Fig. 1 running example: dispatch on the record type, delegating
+   DNAME (the hardest case) to the helper declared by the call edge. *)
+let record_applies =
+  {|
+bool record_applies(char* query, Record record) {
+  if (record.rtyp == DNAME) {
+    return dname_applies(query, record);
+  }
+  if (record.rtyp == CNAME || record.rtyp == A) {
+    return strcmp(query, record.name) == 0;
+  }
+  return strcmp(query, record.name) == 0;
+}
+|}
+
+(* Wildcard matching: "*" matches any name; "*.suffix" matches any
+   query ending in ".suffix" with at least one extra label. *)
+let wildcard_applies =
+  {|
+bool wildcard_applies(char* query, Record record) {
+  if (record.name[0] != '*') {
+    return false;
+  }
+  int l1 = strlen(query);
+  int l2 = strlen(record.name);
+  if (l2 == 1) {
+    return true;
+  }
+  if (record.name[1] != '.') {
+    return false;
+  }
+  int suffix = l2 - 1;
+  if (suffix >= l1) {
+    return false;
+  }
+  for (int i = 1; i <= suffix; i++) {
+    if (query[l1 - i] != record.name[l2 - i]) {
+      return false;
+    }
+  }
+  return true;
+}
+|}
+
+(* A-record matching with IPv4 rdata validation via a helper. *)
+let ipv4_applies =
+  {|
+bool ipv4_applies(char* query, Record record) {
+  if (record.rtyp != A) {
+    return false;
+  }
+  if (!is_valid_ipv4(record.rdat)) {
+    return false;
+  }
+  return strcmp(query, record.name) == 0;
+}
+|}
+
+let is_valid_ipv4 =
+  {|
+bool is_valid_ipv4(char* rdata) {
+  int len = strlen(rdata);
+  if (len == 0) {
+    return false;
+  }
+  bool last_dot = true;
+  for (int i = 0; i < len; i++) {
+    char c = rdata[i];
+    if (c == '.') {
+      if (last_dot) {
+        return false;
+      }
+      last_dot = true;
+    } else {
+      if (c < '0' || c > '9') {
+        return false;
+      }
+      last_dot = false;
+    }
+  }
+  return !last_dot;
+}
+|}
+
+(* Helpers shared by the zone-level models. [record_matches_name]
+   implements exact, wildcard and DNAME-suffix owner matching;
+   [find_record] is the paper-reported "first-match" iteration. *)
+let record_matches_name =
+  {|
+bool record_matches_name(char* query, Record record) {
+  int l1 = strlen(query);
+  int l2 = strlen(record.name);
+  if (strcmp(query, record.name) == 0) {
+    return true;
+  }
+  if (record.name[0] == '*') {
+    if (l2 == 1) {
+      return true;
+    }
+    if (record.name[1] == '.' && l2 - 1 < l1) {
+      bool ok = true;
+      for (int i = 1; i <= l2 - 1; i++) {
+        if (query[l1 - i] != record.name[l2 - i]) {
+          ok = false;
+        }
+      }
+      if (ok) {
+        return true;
+      }
+    }
+  }
+  if (record.rtyp == DNAME && l2 < l1) {
+    bool ok = true;
+    for (int i = 1; i <= l2; i++) {
+      if (query[l1 - i] != record.name[l2 - i]) {
+        ok = false;
+      }
+    }
+    if (ok && query[l1 - l2 - 1] == '.') {
+      return true;
+    }
+  }
+  return false;
+}
+|}
+
+(* Full authoritative lookup over a two-record zone, first-match
+   semantics, one level of CNAME/DNAME rewriting. *)
+let full_lookup =
+  {|
+Response full_lookup(char* query, RecordType qtype, Zone zone) {
+  Response resp;
+  resp.rcode = NOERROR;
+  resp.ans = qtype;
+  resp.synthesized = false;
+  for (int hop = 0; hop < 2; hop++) {
+    bool found = false;
+    for (int i = 0; i < 2; i++) {
+      Record record = zone.recs[i];
+      if (!found && record_matches_name(query, record)) {
+        found = true;
+        if (record.rtyp == qtype) {
+          resp.rcode = NOERROR;
+          resp.ans = record.rtyp;
+          return resp;
+        }
+        if (record.rtyp == CNAME || record.rtyp == DNAME) {
+          resp.synthesized = true;
+          resp.ans = CNAME;
+          strcpy(query, record.rdat);
+        } else {
+          resp.rcode = NOERROR;
+          resp.ans = record.rtyp;
+          return resp;
+        }
+      }
+    }
+    if (!found) {
+      resp.rcode = NXDOMAIN;
+      return resp;
+    }
+  }
+  return resp;
+}
+|}
+
+(* Same walk, but only the return code (the paper's RCODE model). *)
+let rcode_lookup =
+  {|
+RCode rcode_lookup(char* query, RecordType qtype, Zone zone) {
+  for (int hop = 0; hop < 2; hop++) {
+    bool found = false;
+    bool rewritten = false;
+    for (int i = 0; i < 2; i++) {
+      Record record = zone.recs[i];
+      if (!found && record_matches_name(query, record)) {
+        found = true;
+        if (record.rtyp == qtype) {
+          return NOERROR;
+        }
+        if (record.rtyp == CNAME || record.rtyp == DNAME) {
+          strcpy(query, record.rdat);
+          rewritten = true;
+        } else {
+          return NOERROR;
+        }
+      }
+    }
+    if (!found) {
+      return NXDOMAIN;
+    }
+    if (!rewritten) {
+      return NOERROR;
+    }
+  }
+  return SERVFAIL;
+}
+|}
+
+(* Authoritative-answer flag: false when the query falls under a zone
+   cut (an NS record other than the apex matching the query). *)
+let auth_lookup =
+  {|
+bool auth_lookup(char* query, RecordType qtype, Zone zone) {
+  for (int i = 0; i < 2; i++) {
+    Record record = zone.recs[i];
+    if (record.rtyp == NS) {
+      int l1 = strlen(query);
+      int l2 = strlen(record.name);
+      if (l2 < l1) {
+        bool suffix = true;
+        for (int j = 1; j <= l2; j++) {
+          if (query[l1 - j] != record.name[l2 - j]) {
+            suffix = false;
+          }
+        }
+        if (suffix && query[l1 - l2 - 1] == '.') {
+          return false;
+        }
+      }
+      if (strcmp(query, record.name) == 0 && qtype != NS) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+|}
+
+(* Rewrite counter: how many times a query is rewritten by CNAME/DNAME
+   records before resolution stops, capped — the LOOP model that forces
+   exploration of (potentially infinite) rewrite chains. *)
+let loop_count =
+  {|
+uint8_t loop_count(char* query, Zone zone) {
+  uint8_t rewrites = 0;
+  for (int hop = 0; hop < 4; hop++) {
+    bool rewritten = false;
+    for (int i = 0; i < 2; i++) {
+      Record record = zone.recs[i];
+      if (!rewritten && (record.rtyp == CNAME || record.rtyp == DNAME)) {
+        if (record_matches_name(query, record)) {
+          strcpy(query, record.rdat);
+          rewrites = rewrites + 1;
+          rewritten = true;
+        }
+      }
+    }
+    if (!rewritten) {
+      return rewrites;
+    }
+  }
+  return rewrites;
+}
+|}
+
+(* Structurally different drafts of the same modules: real LLM sampling
+   varies shape, not just operators. The oracle picks among same-named
+   entries by seed, so the k drafts differ in structure and line count
+   (the Table 2 LoC min/max spread). *)
+
+let dname_applies_forward =
+  {|
+bool dname_applies(char* query, Record record) {
+  // Walk forward over the candidate suffix start instead of
+  // comparing from the end.
+  if (record.rtyp != DNAME) {
+    return false;
+  }
+  int l1 = strlen(query);
+  int l2 = strlen(record.name);
+  int start = l1 - l2;
+  if (start <= 0) {
+    return false;
+  }
+  if (query[start - 1] != '.') {
+    return false;
+  }
+  for (int i = 0; i < l2; i++) {
+    if (query[start + i] != record.name[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+|}
+
+let cname_applies_strncmp =
+  {|
+bool cname_applies(char* query, Record record) {
+  if (record.rtyp == CNAME) {
+    int l1 = strlen(query);
+    int l2 = strlen(record.name);
+    if (l1 == l2 && strncmp(query, record.name, l1) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+|}
+
+let wildcard_applies_helperless =
+  {|
+bool wildcard_applies(char* query, Record record) {
+  int l2 = strlen(record.name);
+  if (l2 == 0 || record.name[0] != '*') {
+    return false;
+  }
+  if (l2 == 1) {
+    return true;
+  }
+  // match "<anything>.<base>" where base = name without "*"
+  int l1 = strlen(query);
+  int base = l2 - 1;
+  int start = l1 - base;
+  if (start < 1) {
+    return false;
+  }
+  bool ok = true;
+  for (int i = 0; i < base; i++) {
+    if (query[start + i] != record.name[1 + i]) {
+      ok = false;
+    }
+  }
+  return ok;
+}
+|}
+
+let entries =
+  [
+    ("cname_applies", cname_applies);
+    ("cname_applies", cname_applies_strncmp);
+    ("dname_applies", dname_applies);
+    ("dname_applies", dname_applies_forward);
+    ("wildcard_applies", wildcard_applies_helperless);
+    ("record_applies", record_applies);
+    ("wildcard_applies", wildcard_applies);
+    ("ipv4_applies", ipv4_applies);
+    ("is_valid_ipv4", is_valid_ipv4);
+    ("record_matches_name", record_matches_name);
+    ("full_lookup", full_lookup);
+    ("rcode_lookup", rcode_lookup);
+    ("auth_lookup", auth_lookup);
+    ("loop_count", loop_count);
+  ]

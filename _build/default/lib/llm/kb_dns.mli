@@ -1,0 +1,5 @@
+(** DNS protocol knowledge of the simulated LLM: C implementation
+    templates keyed by function name. Multiple entries may share a name
+    (structurally different drafts); the oracle samples among them. *)
+
+val entries : (string * string) list

@@ -1,0 +1,74 @@
+(* SMTP server knowledge of the simulated LLM (paper Fig. 7).
+
+   Commands are abbreviated to single letters so that bounded symbolic
+   strings can reach the equality branches: H=HELO, E=EHLO,
+   M=MAIL FROM, R=RCPT TO, D=DATA, '.'=end-of-data, Q=QUIT. Responses
+   are the three-digit SMTP reply codes. The dead stores to [state]
+   mirror the paper's generated code and are what the state-graph
+   extractor reads (Fig. 8). *)
+
+let smtp_server_response =
+  {|
+char* smtp_server_response(State state, char* input) {
+  char response[4];
+  strcpy(response, "500");
+  if (state == INITIAL) {
+    if (strcmp(input, "H") == 0) {
+      strcpy(response, "250");
+      state = HELO_SENT;
+    } else if (strcmp(input, "E") == 0) {
+      strcpy(response, "250");
+      state = EHLO_SENT;
+    } else if (strcmp(input, "Q") == 0) {
+      strcpy(response, "221");
+      state = QUITTED;
+    } else {
+      strcpy(response, "503");
+    }
+  } else if (state == HELO_SENT || state == EHLO_SENT) {
+    if (strcmp(input, "M") == 0) {
+      strcpy(response, "250");
+      state = MAIL_FROM_RECEIVED;
+    } else if (strcmp(input, "Q") == 0) {
+      strcpy(response, "221");
+      state = QUITTED;
+    } else {
+      strcpy(response, "503");
+    }
+  } else if (state == MAIL_FROM_RECEIVED) {
+    if (strcmp(input, "R") == 0) {
+      strcpy(response, "250");
+      state = RCPT_TO_RECEIVED;
+    } else if (strcmp(input, "Q") == 0) {
+      strcpy(response, "221");
+      state = QUITTED;
+    } else {
+      strcpy(response, "503");
+    }
+  } else if (state == RCPT_TO_RECEIVED) {
+    if (strcmp(input, "D") == 0) {
+      strcpy(response, "354");
+      state = DATA_RECEIVED;
+    } else if (strcmp(input, "R") == 0) {
+      strcpy(response, "250");
+    } else if (strcmp(input, "Q") == 0) {
+      strcpy(response, "221");
+      state = QUITTED;
+    } else {
+      strcpy(response, "503");
+    }
+  } else if (state == DATA_RECEIVED) {
+    if (strcmp(input, ".") == 0) {
+      strcpy(response, "250");
+      state = INITIAL;
+    } else {
+      strcpy(response, "354");
+    }
+  } else {
+    strcpy(response, "221");
+  }
+  return response;
+}
+|}
+
+let entries = [ ("smtp_server_response", smtp_server_response) ]

@@ -1,0 +1,73 @@
+(* TCP connection-machine knowledge (the paper's §6 future work:
+   "more complex stateful protocols like TCP").
+
+   A server-side view of the RFC 793 connection machine over abbreviated
+   segment kinds: S=SYN, A=ACK, F=FIN, R=RST, D=data. Replies are
+   segment kinds the server emits: "SA"=SYN+ACK, "A"=ACK, "FA"=FIN+ACK,
+   "R"=RST, "-"=nothing. As with SMTP, the dead stores to [state] feed
+   the Fig. 8-style state-graph extraction. *)
+
+let tcp_server_response =
+  {|
+char* tcp_server_response(TcpState state, char* segment) {
+  char reply[4];
+  strcpy(reply, "-");
+  if (state == LISTEN) {
+    if (strcmp(segment, "S") == 0) {
+      strcpy(reply, "SA");
+      state = SYN_RCVD;
+    } else if (strcmp(segment, "R") == 0) {
+      strcpy(reply, "-");
+    } else {
+      strcpy(reply, "R");
+    }
+  } else if (state == SYN_RCVD) {
+    if (strcmp(segment, "A") == 0) {
+      strcpy(reply, "-");
+      state = ESTABLISHED;
+    } else if (strcmp(segment, "R") == 0) {
+      strcpy(reply, "-");
+      state = LISTEN;
+    } else if (strcmp(segment, "F") == 0) {
+      strcpy(reply, "A");
+      state = CLOSE_WAIT;
+    } else {
+      strcpy(reply, "R");
+    }
+  } else if (state == ESTABLISHED) {
+    if (strcmp(segment, "D") == 0) {
+      strcpy(reply, "A");
+    } else if (strcmp(segment, "F") == 0) {
+      strcpy(reply, "A");
+      state = CLOSE_WAIT;
+    } else if (strcmp(segment, "R") == 0) {
+      strcpy(reply, "-");
+      state = CLOSED;
+    } else {
+      strcpy(reply, "A");
+    }
+  } else if (state == CLOSE_WAIT) {
+    if (strcmp(segment, "A") == 0) {
+      strcpy(reply, "FA");
+      state = LAST_ACK;
+    } else if (strcmp(segment, "R") == 0) {
+      strcpy(reply, "-");
+      state = CLOSED;
+    } else {
+      strcpy(reply, "A");
+    }
+  } else if (state == LAST_ACK) {
+    if (strcmp(segment, "A") == 0) {
+      strcpy(reply, "-");
+      state = CLOSED;
+    } else {
+      strcpy(reply, "R");
+    }
+  } else {
+    strcpy(reply, "R");
+  }
+  return reply;
+}
+|}
+
+let entries = [ ("tcp_server_response", tcp_server_response) ]

@@ -1,0 +1,187 @@
+module Ast = Eywa_minic.Ast
+
+type kind =
+  | Relax_compare
+  | Off_by_one
+  | Wrong_enum
+  | Swap_and_or
+  | Flip_eq
+  | Drop_else
+
+let kind_to_string = function
+  | Relax_compare -> "relax-compare"
+  | Off_by_one -> "off-by-one"
+  | Wrong_enum -> "wrong-enum"
+  | Swap_and_or -> "swap-and-or"
+  | Flip_eq -> "flip-eq"
+  | Drop_else -> "drop-else"
+
+(* Preorder traversal shared by collection and rewriting so that site
+   ids line up. The [on_node] callback may replace the node; children
+   of the replacement are not revisited (one mutation per pass). *)
+
+type 'a visit = { mutable id : int; on_expr : int -> Ast.expr -> Ast.expr option;
+                  on_stmt : int -> Ast.stmt -> Ast.stmt option }
+
+let rec walk_expr v e =
+  let my_id = v.id in
+  v.id <- v.id + 1;
+  match v.on_expr my_id e with
+  | Some replacement -> replacement
+  | None -> (
+      match e with
+      | Ast.Ebool _ | Ast.Echar _ | Ast.Eint _ | Ast.Eenum _ | Ast.Estr _
+      | Ast.Evar _ ->
+          e
+      | Ast.Efield (b, f) -> Ast.Efield (walk_expr v b, f)
+      | Ast.Eindex (b, i) -> Ast.Eindex (walk_expr v b, walk_expr v i)
+      | Ast.Eunop (op, a) -> Ast.Eunop (op, walk_expr v a)
+      | Ast.Ebinop (op, a, b) -> Ast.Ebinop (op, walk_expr v a, walk_expr v b)
+      | Ast.Econd (c, a, b) ->
+          Ast.Econd (walk_expr v c, walk_expr v a, walk_expr v b)
+      | Ast.Ecall (f, args) -> Ast.Ecall (f, List.map (walk_expr v) args))
+
+let rec walk_stmt v s =
+  let my_id = v.id in
+  v.id <- v.id + 1;
+  match v.on_stmt my_id s with
+  | Some replacement -> replacement
+  | None -> (
+      match s with
+      | Ast.Sdecl (ty, x, init) -> Ast.Sdecl (ty, x, Option.map (walk_expr v) init)
+      | Ast.Sassign (lv, e) -> Ast.Sassign (walk_lvalue v lv, walk_expr v e)
+      | Ast.Sif (c, t, e) ->
+          Ast.Sif (walk_expr v c, List.map (walk_stmt v) t, List.map (walk_stmt v) e)
+      | Ast.Swhile (c, body) -> Ast.Swhile (walk_expr v c, List.map (walk_stmt v) body)
+      | Ast.Sfor (init, c, step, body) ->
+          Ast.Sfor
+            ( Option.map (walk_stmt v) init,
+              walk_expr v c,
+              Option.map (walk_stmt v) step,
+              List.map (walk_stmt v) body )
+      | Ast.Sreturn e -> Ast.Sreturn (Option.map (walk_expr v) e)
+      | Ast.Sexpr e -> Ast.Sexpr (walk_expr v e)
+      | Ast.Sbreak | Ast.Scontinue -> s)
+
+and walk_lvalue v lv =
+  match lv with
+  | Ast.Lvar _ -> lv
+  | Ast.Lfield (b, f) -> Ast.Lfield (walk_lvalue v b, f)
+  | Ast.Lindex (b, i) -> Ast.Lindex (walk_lvalue v b, walk_expr v i)
+
+let traverse_func on_expr on_stmt (f : Ast.func) =
+  let v = { id = 0; on_expr; on_stmt } in
+  { f with Ast.body = List.map (walk_stmt v) f.body }
+
+(* Enum members reach us as [Eenum] when built programmatically, but as
+   bare [Evar]s when the knowledge-base template was parsed from C
+   text; both are mutation sites. *)
+let is_enum_member enums name =
+  List.exists (fun (e : Ast.enum_def) -> List.mem name e.members) enums
+
+let candidate_sites ~enums (f : Ast.func) =
+  let sites = ref [] in
+  let record id kind = sites := (id, kind) :: !sites in
+  let on_expr id e =
+    (match e with
+    | Ast.Ebinop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), _, _) ->
+        record id Relax_compare
+    | Ast.Eint n when n <> 0 -> record id Off_by_one
+    | Ast.Eenum _ -> record id Wrong_enum
+    | Ast.Evar x when is_enum_member enums x -> record id Wrong_enum
+    | Ast.Ebinop ((Ast.Land | Ast.Lor), _, _) -> record id Swap_and_or
+    | Ast.Ebinop ((Ast.Eq | Ast.Ne), _, _) -> record id Flip_eq
+    | Ast.Ebool _ | Ast.Echar _ | Ast.Eint _ | Ast.Estr _ | Ast.Evar _
+    | Ast.Efield _ | Ast.Eindex _ | Ast.Eunop _ | Ast.Ebinop _ | Ast.Econd _
+    | Ast.Ecall _ ->
+        ());
+    None
+  in
+  let on_stmt id s =
+    (match s with
+    | Ast.Sif (_, _, _ :: _) -> record id Drop_else
+    | Ast.Sif _ | Ast.Sdecl _ | Ast.Sassign _ | Ast.Swhile _ | Ast.Sfor _
+    | Ast.Sreturn _ | Ast.Sexpr _ | Ast.Sbreak | Ast.Scontinue ->
+        ());
+    None
+  in
+  ignore (traverse_func on_expr on_stmt f);
+  List.rev !sites
+
+let sibling_member enums rng member =
+  let home =
+    List.find_opt (fun (e : Ast.enum_def) -> List.mem member e.members) enums
+  in
+  match home with
+  | None -> member
+  | Some e -> (
+      match List.filter (fun m -> m <> member) e.members with
+      | [] -> member
+      | others -> Rng.pick rng others)
+
+let apply ~enums ~rng ~site ~kind f =
+  let rewrite_expr e =
+    match (kind, e) with
+    | Relax_compare, Ast.Ebinop (Ast.Lt, a, b) -> Ast.Ebinop (Ast.Le, a, b)
+    | Relax_compare, Ast.Ebinop (Ast.Le, a, b) -> Ast.Ebinop (Ast.Lt, a, b)
+    | Relax_compare, Ast.Ebinop (Ast.Gt, a, b) -> Ast.Ebinop (Ast.Ge, a, b)
+    | Relax_compare, Ast.Ebinop (Ast.Ge, a, b) -> Ast.Ebinop (Ast.Gt, a, b)
+    | Off_by_one, Ast.Eint n ->
+        Ast.Eint (if Rng.bool rng 0.5 then n + 1 else n - 1)
+    | Wrong_enum, Ast.Eenum m -> Ast.Eenum (sibling_member enums rng m)
+    | Wrong_enum, Ast.Evar m when is_enum_member enums m ->
+        Ast.Evar (sibling_member enums rng m)
+    | Swap_and_or, Ast.Ebinop (Ast.Land, a, b) -> Ast.Ebinop (Ast.Lor, a, b)
+    | Swap_and_or, Ast.Ebinop (Ast.Lor, a, b) -> Ast.Ebinop (Ast.Land, a, b)
+    | Flip_eq, Ast.Ebinop (Ast.Eq, a, b) -> Ast.Ebinop (Ast.Ne, a, b)
+    | Flip_eq, Ast.Ebinop (Ast.Ne, a, b) -> Ast.Ebinop (Ast.Eq, a, b)
+    | _, _ -> e
+  in
+  let on_expr id e = if id = site then Some (rewrite_expr e) else None in
+  let on_stmt id s =
+    if id = site then
+      match (kind, s) with
+      | Drop_else, Ast.Sif (c, t, _ :: _) -> Some (Ast.Sif (c, t, []))
+      | _, _ -> None
+    else None
+  in
+  traverse_func on_expr on_stmt f
+
+(* Mutation count: tau = 0 gives zero; higher temperatures raise the
+   chance of one, occasionally two or three, mutations. Weights keep
+   Flip_eq and Drop_else rarer since they are the most destructive. *)
+let draw_count rng temperature =
+  if temperature <= 0.0 then 0
+  else begin
+    let first = if Rng.bool rng (0.35 +. (0.4 *. temperature)) then 1 else 0 in
+    let second = if Rng.bool rng (0.25 *. temperature) then 1 else 0 in
+    let third = if Rng.bool rng (0.08 *. temperature) then 1 else 0 in
+    first + second + third
+  end
+
+let weight = function
+  | Relax_compare -> 4
+  | Off_by_one -> 3
+  | Wrong_enum -> 2
+  | Swap_and_or -> 2
+  | Flip_eq -> 1
+  | Drop_else -> 1
+
+let mutate ~enums ~rng ~temperature f =
+  let count = draw_count rng temperature in
+  let rec go f applied remaining =
+    if remaining = 0 then (f, List.rev applied)
+    else begin
+      match candidate_sites ~enums f with
+      | [] -> (f, List.rev applied)
+      | sites ->
+          let expanded =
+            List.concat_map
+              (fun (id, kind) -> List.init (weight kind) (fun _ -> (id, kind)))
+              sites
+          in
+          let site, kind = Rng.pick rng expanded in
+          go (apply ~enums ~rng ~site ~kind f) (kind :: applied) (remaining - 1)
+    end
+  in
+  go f [] count

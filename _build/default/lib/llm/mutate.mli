@@ -1,0 +1,49 @@
+(** Hallucination modelling: seeded, temperature-scaled mutations of a
+    generated function.
+
+    Real LLM completions of protocol models are mostly right but
+    occasionally miss corner cases, relax a comparison (the paper's
+    Fig. 2 DNAME bug is exactly a [>] for [>=]), pick a neighbouring
+    constant, or confuse an enum member. The simulated LLM reproduces
+    that behaviour by applying 0-3 such mutations to the knowledge-base
+    reference implementation, with the mutation count scaling with
+    temperature — at tau = 0 every draw is identical, at higher tau
+    drafts diverge, which is what drives the k-vs-unique-tests curve of
+    Fig. 10. *)
+
+type kind =
+  | Relax_compare  (** [<] <-> [<=], [>] <-> [>=] *)
+  | Off_by_one  (** integer literal +-1 *)
+  | Wrong_enum  (** enum member replaced by a sibling *)
+  | Swap_and_or  (** [&&] <-> [||] *)
+  | Flip_eq  (** [==] <-> [!=] *)
+  | Drop_else  (** delete an else branch *)
+
+val kind_to_string : kind -> string
+
+val candidate_sites :
+  enums:Eywa_minic.Ast.enum_def list ->
+  Eywa_minic.Ast.func ->
+  (int * kind) list
+(** All mutable sites of a function, as (preorder id, kind). [enums]
+    lets bare identifiers be recognised as enum members (the C parser
+    cannot distinguish them from variables). *)
+
+val apply :
+  enums:Eywa_minic.Ast.enum_def list ->
+  rng:Rng.t ->
+  site:int ->
+  kind:kind ->
+  Eywa_minic.Ast.func ->
+  Eywa_minic.Ast.func
+(** Rewrite the node with the given preorder id. *)
+
+val mutate :
+  enums:Eywa_minic.Ast.enum_def list ->
+  rng:Rng.t ->
+  temperature:float ->
+  Eywa_minic.Ast.func ->
+  Eywa_minic.Ast.func * kind list
+(** Draw a mutation count from the temperature and apply that many
+    random mutations, reporting what was done (for logging and
+    tests). *)

@@ -1,0 +1,21 @@
+module Ast = Eywa_minic.Ast
+module Parser = Eywa_minic.Parser
+
+type task = {
+  target : Ast.func;
+  enums : Ast.enum_def list;
+  structs : Ast.struct_def list;
+  helpers : Ast.proto list;
+}
+
+let parse user =
+  let closed = user ^ "\n}\n" in
+  match Parser.parse_result closed with
+  | Error m -> Error (Printf.sprintf "prompt not parseable: %s" m)
+  | Ok p -> (
+      (* the unfinished function is the last (and only) definition *)
+      match List.rev p.Ast.funcs with
+      | target :: _ ->
+          Ok { target; enums = p.Ast.enums; structs = p.Ast.structs;
+               helpers = p.Ast.protos }
+      | [] -> Error "prompt contains no function to complete")

@@ -1,0 +1,16 @@
+(** Recover the completion task from raw prompt text.
+
+    The simulated LLM receives exactly what a real one would — the user
+    prompt string — and must work out what it is being asked to write.
+    The prompt grammar is MiniC with a trailing unfinished function
+    (signature, open brace, an [// implement me] comment), so we close
+    the brace and reuse the MiniC parser. *)
+
+type task = {
+  target : Eywa_minic.Ast.func;  (** signature; body is the empty stub *)
+  enums : Eywa_minic.Ast.enum_def list;
+  structs : Eywa_minic.Ast.struct_def list;
+  helpers : Eywa_minic.Ast.proto list;  (** call-edge prototypes *)
+}
+
+val parse : string -> (task, string) result

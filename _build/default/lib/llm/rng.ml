@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let of_string seed s =
+  let h = ref (Int64.of_int seed) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  { state = !h }
+
+(* splitmix64 step *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  next t mod n
+
+let float t = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+              /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))

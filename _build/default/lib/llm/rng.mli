@@ -1,0 +1,29 @@
+(** Deterministic splitmix64 PRNG.
+
+    The simulated LLM must be reproducible from (seed, prompt), so all
+    stochastic choices (sampling "temperature" noise, mutation sites)
+    flow through this self-contained generator rather than the global
+    [Random] state. *)
+
+type t
+
+val create : int -> t
+
+val of_string : int -> string -> t
+(** Seeded from an integer and a string (e.g. the target function
+    name), so different prompts at the same seed draw differently. *)
+
+val next : t -> int
+(** 62-bit non-negative integer. *)
+
+val int : t -> int -> int
+(** [int t n] in [0, n). @raise Invalid_argument if [n <= 0]. *)
+
+val float : t -> float
+(** In [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice. @raise Invalid_argument on empty list. *)

@@ -1,0 +1,1 @@
+lib/minic/interp.ml: Array Ast Bytes Char List Printf String Value

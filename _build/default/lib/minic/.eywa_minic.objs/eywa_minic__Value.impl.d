@@ -1,0 +1,1 @@
+lib/minic/value.ml: Array Ast Bytes Char Format List Printf String

@@ -1,0 +1,141 @@
+(* Abstract syntax of MiniC, the C subset that the (simulated) LLM emits
+   and that the symbolic executor analyses. The subset is chosen to
+   cover what protocol models in the paper actually use: scalars,
+   enums, structs, bounded strings ([char*] with a harness-supplied
+   bound), fixed arrays, structured control flow, and a handful of
+   string.h builtins. There are no pointers beyond [char*], no casts,
+   no gotos, and no [strtok] (the paper's system prompt bans it). *)
+
+type ty =
+  | Tvoid
+  | Tbool
+  | Tchar
+  | Tint of int  (* unsigned, width in bits *)
+  | Tenum of string
+  | Tstring  (* char*; the buffer bound comes from the harness *)
+  | Tstruct of string
+  | Tarray of ty * int
+
+type unop = Neg | Lnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type expr =
+  | Ebool of bool
+  | Echar of char
+  | Eint of int
+  | Eenum of string  (* enum member by name *)
+  | Estr of string  (* string literal *)
+  | Evar of string
+  | Efield of expr * string
+  | Eindex of expr * expr
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Econd of expr * expr * expr  (* c ? a : b *)
+  | Ecall of string * expr list
+
+type lvalue =
+  | Lvar of string
+  | Lfield of lvalue * string
+  | Lindex of lvalue * expr
+
+type stmt =
+  | Sdecl of ty * string * expr option
+  | Sassign of lvalue * expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sfor of stmt option * expr * stmt option * stmt list
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Sbreak
+  | Scontinue
+
+type func = {
+  fname : string;
+  ret : ty;
+  params : (ty * string) list;
+  body : stmt list;
+  doc : string list;  (* leading // comment lines, kept for prompts *)
+}
+
+type proto = { pname : string; pret : ty; pparams : (ty * string) list; pdoc : string list }
+
+type enum_def = { ename : string; members : string list }
+
+type struct_def = { sname : string; fields : (ty * string) list }
+
+type program = {
+  enums : enum_def list;
+  structs : struct_def list;
+  protos : proto list;
+  funcs : func list;
+}
+
+let empty_program = { enums = []; structs = []; protos = []; funcs = [] }
+
+(* Builtins modelled by the interpreter and the symbolic executor.
+   [strcpy] returns void in our subset (its C return value is never
+   used by generated models). *)
+let builtins = [ "strlen"; "strcmp"; "strncmp"; "strcpy" ]
+
+(* Functions the system prompt forbids; the typechecker rejects them,
+   which is how a "bad completion" fails to compile. *)
+let banned = [ "strtok"; "malloc"; "free"; "printf"; "sprintf"; "memcpy" ]
+
+let is_builtin name = List.mem name builtins
+
+let rec ty_equal a b =
+  match (a, b) with
+  | Tvoid, Tvoid | Tbool, Tbool | Tchar, Tchar | Tstring, Tstring -> true
+  | Tint x, Tint y -> x = y
+  | Tenum x, Tenum y -> x = y
+  | Tstruct x, Tstruct y -> x = y
+  | Tarray (t, n), Tarray (u, m) -> n = m && ty_equal t u
+  | (Tvoid | Tbool | Tchar | Tint _ | Tenum _ | Tstring | Tstruct _ | Tarray _), _ ->
+      false
+
+(* Scalar types interoperate as in C (comparisons, arithmetic,
+   truthiness). *)
+let is_scalar = function
+  | Tbool | Tchar | Tint _ | Tenum _ -> true
+  | Tvoid | Tstring | Tstruct _ | Tarray _ -> false
+
+let rec pp_ty ppf = function
+  | Tvoid -> Format.fprintf ppf "void"
+  | Tbool -> Format.fprintf ppf "bool"
+  | Tchar -> Format.fprintf ppf "char"
+  | Tint w -> if w <= 8 then Format.fprintf ppf "uint8_t"
+              else if w <= 16 then Format.fprintf ppf "uint16_t"
+              else Format.fprintf ppf "uint32_t"
+  | Tenum n -> Format.fprintf ppf "%s" n
+  | Tstring -> Format.fprintf ppf "char*"
+  | Tstruct n -> Format.fprintf ppf "%s" n
+  | Tarray (t, n) -> Format.fprintf ppf "%a[%d]" pp_ty t n
+
+let ty_to_string t = Format.asprintf "%a" pp_ty t
+
+let find_enum program name = List.find_opt (fun e -> e.ename = name) program.enums
+
+let find_struct program name = List.find_opt (fun s -> s.sname = name) program.structs
+
+let find_func program name = List.find_opt (fun f -> f.fname = name) program.funcs
+
+let find_proto program name = List.find_opt (fun p -> p.pname = name) program.protos
+
+(* Index of an enum member across all enums of the program; enums have
+   globally unique member names in our models, as in the paper's. *)
+let enum_member_index program member =
+  let rec go = function
+    | [] -> None
+    | e :: rest -> (
+        let rec idx i = function
+          | [] -> None
+          | m :: _ when m = member -> Some (e.ename, i)
+          | _ :: ms -> idx (i + 1) ms
+        in
+        match idx 0 e.members with Some r -> Some r | None -> go rest)
+  in
+  go program.enums

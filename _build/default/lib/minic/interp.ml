@@ -1,0 +1,296 @@
+type error = Out_of_fuel | Runtime of string
+
+let error_to_string = function
+  | Out_of_fuel -> "out of fuel"
+  | Runtime m -> "runtime error: " ^ m
+
+exception Return_exc of Value.t
+exception Break_exc
+exception Continue_exc
+exception Runtime_exc of string
+exception Fuel_exc
+
+let rt fmt = Printf.ksprintf (fun s -> raise (Runtime_exc s)) fmt
+
+let calls = ref 0
+let call_count () = !calls
+
+type state = {
+  program : Ast.program;
+  string_bound : int;
+  natives : (string * (Value.t list -> Value.t)) list;
+  mutable fuel : int;
+  mutable scopes : (string * Value.t ref) list list;
+}
+
+let tick st = if st.fuel <= 0 then raise Fuel_exc else st.fuel <- st.fuel - 1
+
+let lookup_opt st name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+        match List.assoc_opt name scope with Some c -> Some c | None -> go rest)
+  in
+  go st.scopes
+
+let lookup st name =
+  match lookup_opt st name with
+  | Some c -> c
+  | None -> rt "unbound variable %S" name
+
+let declare st name v =
+  match st.scopes with
+  | scope :: rest -> st.scopes <- ((name, ref v) :: scope) :: rest
+  | [] -> assert false
+
+(* String buffer helpers. Buffers carry their NULs explicitly. *)
+
+let buf_get raw i =
+  if i < 0 || i >= String.length raw then rt "string index %d out of bounds (size %d)" i (String.length raw)
+  else raw.[i]
+
+let buf_set raw i c =
+  if i < 0 || i >= String.length raw then rt "string index %d out of bounds (size %d)" i (String.length raw)
+  else begin
+    let b = Bytes.of_string raw in
+    Bytes.set b i c;
+    Bytes.to_string b
+  end
+
+let c_strlen raw =
+  match String.index_opt raw '\000' with
+  | Some i -> i
+  | None -> String.length raw
+
+let c_str raw = String.sub raw 0 (c_strlen raw)
+
+let c_strcmp a b = compare (c_str a) (c_str b)
+
+let c_strncmp a b n =
+  let cut s = if String.length s > n then String.sub s 0 n else s in
+  compare (cut (c_str a)) (cut (c_str b))
+
+let c_strcpy dest src =
+  let s = c_str src in
+  let size = String.length dest in
+  if String.length s + 1 > size then rt "strcpy overflow (%d bytes into %d)" (String.length s + 1) size;
+  let b = Bytes.make size '\000' in
+  Bytes.blit_string s 0 b 0 (String.length s);
+  Bytes.to_string b
+
+let as_string = function
+  | Value.Vstring raw -> raw
+  | v -> rt "expected a string, got %s" (Value.to_string v)
+
+(* Functional update of a value along an lvalue path. *)
+let rec update_path st v path (x : Value.t) : Value.t =
+  match (path, v) with
+  | [], _ -> x
+  | `Field f :: rest, Value.Vstruct (n, fields) ->
+      let updated =
+        List.map
+          (fun (g, w) -> if g = f then (g, update_path st w rest x) else (g, w))
+          fields
+      in
+      if not (List.exists (fun (g, _) -> g = f) fields) then rt "struct %s has no field %S" n f;
+      Value.Vstruct (n, updated)
+  | `Index i :: rest, Value.Varray vs ->
+      if i < 0 || i >= Array.length vs then rt "array index %d out of bounds" i;
+      let copy = Array.copy vs in
+      copy.(i) <- update_path st copy.(i) rest x;
+      Value.Varray copy
+  | `Index i :: [], Value.Vstring raw -> (
+      match x with
+      | Value.Vchar c -> Value.Vstring (buf_set raw i c)
+      | v -> (
+          (* scalar int assigned into a char cell *)
+          match v with
+          | Value.Vint n -> Value.Vstring (buf_set raw i (Char.chr (n land 0xff)))
+          | Value.Vbool b -> Value.Vstring (buf_set raw i (if b then '\001' else '\000'))
+          | _ -> rt "cannot store %s into a string cell" (Value.to_string v)))
+  | _, v -> rt "cannot follow lvalue path into %s" (Value.to_string v)
+
+let rec eval st (e : Ast.expr) : Value.t =
+  match e with
+  | Ast.Ebool b -> Value.Vbool b
+  | Ast.Echar c -> Value.Vchar c
+  | Ast.Eint n -> Value.Vint n
+  | Ast.Estr s -> Value.of_cstring s
+  | Ast.Eenum m -> (
+      match Ast.enum_member_index st.program m with
+      | Some (ename, i) -> Value.Venum (ename, i)
+      | None -> rt "unknown enum member %S" m)
+  | Ast.Evar x -> (
+      match lookup_opt st x with
+      | Some cell -> !cell
+      | None -> (
+          match Ast.enum_member_index st.program x with
+          | Some (ename, i) -> Value.Venum (ename, i)
+          | None -> rt "unbound variable %S" x))
+  | Ast.Efield (b, f) -> (
+      match eval st b with
+      | Value.Vstruct (n, fields) -> (
+          match List.assoc_opt f fields with
+          | Some v -> v
+          | None -> rt "struct %s has no field %S" n f)
+      | v -> rt "field access on %s" (Value.to_string v))
+  | Ast.Eindex (b, i) -> (
+      let idx = Value.to_int (eval st i) in
+      match eval st b with
+      | Value.Vstring raw -> Value.Vchar (buf_get raw idx)
+      | Value.Varray vs ->
+          if idx < 0 || idx >= Array.length vs then rt "array index %d out of bounds" idx
+          else vs.(idx)
+      | v -> rt "indexing %s" (Value.to_string v))
+  | Ast.Eunop (Ast.Lnot, a) -> Value.Vbool (not (Value.truthy (eval st a)))
+  | Ast.Eunop (Ast.Neg, a) -> Value.Vint (- Value.to_int (eval st a))
+  | Ast.Ebinop (Ast.Land, a, b) ->
+      Value.Vbool (Value.truthy (eval st a) && Value.truthy (eval st b))
+  | Ast.Ebinop (Ast.Lor, a, b) ->
+      Value.Vbool (Value.truthy (eval st a) || Value.truthy (eval st b))
+  | Ast.Ebinop (op, a, b) -> (
+      let x = Value.to_int (eval st a) and y = Value.to_int (eval st b) in
+      match op with
+      | Ast.Add -> Value.Vint (x + y)
+      | Ast.Sub -> Value.Vint (x - y)
+      | Ast.Mul -> Value.Vint (x * y)
+      | Ast.Div -> if y = 0 then rt "division by zero" else Value.Vint (x / y)
+      | Ast.Mod -> if y = 0 then rt "modulo by zero" else Value.Vint (x mod y)
+      | Ast.Eq -> Value.Vbool (x = y)
+      | Ast.Ne -> Value.Vbool (x <> y)
+      | Ast.Lt -> Value.Vbool (x < y)
+      | Ast.Le -> Value.Vbool (x <= y)
+      | Ast.Gt -> Value.Vbool (x > y)
+      | Ast.Ge -> Value.Vbool (x >= y)
+      | Ast.Land | Ast.Lor -> assert false)
+  | Ast.Econd (c, a, b) -> if Value.truthy (eval st c) then eval st a else eval st b
+  | Ast.Ecall (name, args) -> eval_call st name (List.map (eval st) args)
+
+and eval_call st name args =
+  tick st;
+  incr calls;
+  match (name, args) with
+  | "strlen", [ s ] -> Value.Vint (c_strlen (as_string s))
+  | "strcmp", [ a; b ] -> Value.Vint (c_strcmp (as_string a) (as_string b))
+  | "strncmp", [ a; b; n ] ->
+      Value.Vint (c_strncmp (as_string a) (as_string b) (Value.to_int n))
+  | "strcpy", [ _; _ ] -> rt "strcpy used in expression position"
+  | _ when List.mem_assoc name st.natives -> (List.assoc name st.natives) args
+  | _ -> (
+      match Ast.find_func st.program name with
+      | None -> rt "call to undefined function %S" name
+      | Some f ->
+          if List.length f.params <> List.length args then
+            rt "%s: arity mismatch" name;
+          let saved = st.scopes in
+          st.scopes <- [ [] ];
+          List.iter2 (fun (_, pname) v -> declare st pname v) f.params args;
+          let result =
+            try
+              exec_block st f.body;
+              if f.ret = Ast.Tvoid then Value.Vunit
+              else rt "function %s fell off the end without returning" name
+            with Return_exc v -> v
+          in
+          st.scopes <- saved;
+          result)
+
+and exec_stmt st (s : Ast.stmt) : unit =
+  tick st;
+  match s with
+  | Ast.Sdecl (ty, name, init) ->
+      let v =
+        match init with
+        | Some e -> coerce st ty (eval st e)
+        | None -> Value.default ~string_bound:st.string_bound st.program ty
+      in
+      declare st name v
+  | Ast.Sassign (lv, e) -> assign st lv (eval st e)
+  | Ast.Sif (c, t, e) ->
+      if Value.truthy (eval st c) then exec_block st t else exec_block st e
+  | Ast.Swhile (c, body) ->
+      let rec loop () =
+        tick st;
+        if Value.truthy (eval st c) then begin
+          (try exec_block st body with Continue_exc -> ());
+          loop ()
+        end
+      in
+      (try loop () with Break_exc -> ())
+  | Ast.Sfor (init, c, step, body) ->
+      st.scopes <- [] :: st.scopes;
+      (match init with None -> () | Some s -> exec_stmt st s);
+      let rec loop () =
+        tick st;
+        if Value.truthy (eval st c) then begin
+          (try exec_block st body with Continue_exc -> ());
+          (match step with None -> () | Some s -> exec_stmt st s);
+          loop ()
+        end
+      in
+      (try loop () with Break_exc -> ());
+      st.scopes <- List.tl st.scopes
+  | Ast.Sreturn None -> raise (Return_exc Value.Vunit)
+  | Ast.Sreturn (Some e) -> raise (Return_exc (eval st e))
+  | Ast.Sexpr (Ast.Ecall ("strcpy", [ dst; src ])) -> (
+      let v = eval st src in
+      match dst with
+      | Ast.Evar _ | Ast.Efield _ | Ast.Eindex _ ->
+          let lv = expr_lvalue dst in
+          let cur = eval st dst in
+          assign st lv (Value.Vstring (c_strcpy (as_string cur) (as_string v)))
+      | _ -> rt "strcpy destination is not assignable")
+  | Ast.Sexpr e -> ignore (eval st e)
+  | Ast.Sbreak -> raise Break_exc
+  | Ast.Scontinue -> raise Continue_exc
+
+and expr_lvalue = function
+  | Ast.Evar x -> Ast.Lvar x
+  | Ast.Efield (b, f) -> Ast.Lfield (expr_lvalue b, f)
+  | Ast.Eindex (b, i) -> Ast.Lindex (expr_lvalue b, i)
+  | _ -> raise (Runtime_exc "not an lvalue")
+
+and coerce st ty v =
+  ignore st;
+  match (ty, v) with
+  | Ast.Tbool, _ when (match v with Value.Vbool _ -> false | _ -> true) -> (
+      match v with
+      | Value.Vchar _ | Value.Vint _ | Value.Venum _ -> Value.Vbool (Value.truthy v)
+      | _ -> v)
+  | Ast.Tchar, Value.Vint n -> Value.Vchar (Char.chr (n land 0xff))
+  | Ast.Tint _, Value.Vbool b -> Value.Vint (if b then 1 else 0)
+  | Ast.Tint _, Value.Vchar c -> Value.Vint (Char.code c)
+  | Ast.Tint _, Value.Venum (_, i) -> Value.Vint i
+  | Ast.Tenum e, Value.Vint n -> Value.Venum (e, n)
+  | _ -> v
+
+and assign st lv v =
+  (* Resolve the lvalue to its root variable plus an access path, then
+     update functionally. *)
+  let rec resolve = function
+    | Ast.Lvar x -> (x, [])
+    | Ast.Lfield (b, f) ->
+        let root, path = resolve b in
+        (root, path @ [ `Field f ])
+    | Ast.Lindex (b, i) ->
+        let root, path = resolve b in
+        (root, path @ [ `Index (Value.to_int (eval st i)) ])
+  in
+  let root, path = resolve lv in
+  let cell = lookup st root in
+  cell := update_path st !cell path v
+
+and exec_block st body =
+  st.scopes <- [] :: st.scopes;
+  (try List.iter (exec_stmt st) body
+   with e ->
+     st.scopes <- List.tl st.scopes;
+     raise e);
+  st.scopes <- List.tl st.scopes
+
+let run ?(fuel = 100_000) ?(string_bound = 16) ?(natives = []) program fname args =
+  let st = { program; string_bound; natives; fuel; scopes = [ [] ] } in
+  match eval_call st fname args with
+  | v -> Ok v
+  | exception Runtime_exc m -> Error (Runtime m)
+  | exception Fuel_exc -> Error Out_of_fuel

@@ -1,0 +1,31 @@
+(** Concrete interpreter for MiniC.
+
+    Executes a function of a typechecked program on concrete argument
+    values. Loops and recursion are bounded by [fuel] (decremented per
+    statement), so any input terminates — the property differential
+    testing needs when replaying tests against the model. *)
+
+type error =
+  | Out_of_fuel
+  | Runtime of string  (** out-of-bounds access, missing return, ... *)
+
+val error_to_string : error -> string
+
+val run :
+  ?fuel:int ->
+  ?string_bound:int ->
+  ?natives:(string * (Value.t list -> Value.t)) list ->
+  Ast.program ->
+  string ->
+  Value.t list ->
+  (Value.t, error) result
+(** [run program fname args] calls [fname] with [args]. Default fuel is
+    [100_000]; [string_bound] sizes locally declared string buffers
+    (default [16]). [natives] supplies pure host-implemented functions
+    (the harness's regex guards) looked up before program functions.
+    Falling off the end of a non-void function is a [Runtime] error;
+    for a void function it yields [Vunit]. *)
+
+val call_count : unit -> int
+(** Total number of function calls executed since start-up; used by the
+    benchmarks as a cheap work counter. *)

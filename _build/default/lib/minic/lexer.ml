@@ -1,0 +1,179 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | CHARLIT of char
+  | STRLIT of string
+  | KW_TYPEDEF | KW_ENUM | KW_STRUCT
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_TRUE | KW_FALSE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | SEMI | COMMA | DOT | QUESTION | COLON
+  | STAR | PLUS | MINUS | SLASH | PERCENT
+  | AMPAMP | BARBAR | BANG
+  | ASSIGN | EQEQ | NE | LT | LE | GT | GE
+  | PLUSEQ | MINUSEQ | PLUSPLUS | MINUSMINUS
+  | EOF
+
+exception Error of string * int
+
+let keyword = function
+  | "typedef" -> Some KW_TYPEDEF
+  | "enum" -> Some KW_ENUM
+  | "struct" -> Some KW_STRUCT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let unescape line = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> raise (Error (Printf.sprintf "unknown escape '\\%c'" c, line))
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit t = toks := (t, !line) :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      (* skip preprocessor line *)
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && peek 1 = Some '/' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Error ("unterminated comment", !line))
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      match keyword word with
+      | Some kw -> emit kw
+      | None -> emit (IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '\'' then begin
+      if !i + 2 >= n then raise (Error ("unterminated char literal", !line));
+      let ch, len =
+        if src.[!i + 1] = '\\' then (unescape !line src.[!i + 2], 4)
+        else (src.[!i + 1], 3)
+      in
+      if !i + len - 1 >= n || src.[!i + len - 1] <> '\'' then
+        raise (Error ("unterminated char literal", !line));
+      emit (CHARLIT ch);
+      i := !i + len
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while !i < n && not !closed do
+        if src.[!i] = '"' then begin closed := true; incr i end
+        else if src.[!i] = '\\' && !i + 1 < n then begin
+          Buffer.add_char buf (unescape !line src.[!i + 1]);
+          i := !i + 2
+        end
+        else begin
+          if src.[!i] = '\n' then incr line;
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if not !closed then raise (Error ("unterminated string literal", !line));
+      emit (STRLIT (Buffer.contents buf))
+    end
+    else begin
+      let two t = emit t; i := !i + 2 in
+      let one t = emit t; incr i in
+      match (c, peek 1) with
+      | '&', Some '&' -> two AMPAMP
+      | '|', Some '|' -> two BARBAR
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NE
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '+', Some '=' -> two PLUSEQ
+      | '-', Some '=' -> two MINUSEQ
+      | '+', Some '+' -> two PLUSPLUS
+      | '-', Some '-' -> two MINUSMINUS
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACK
+      | ']', _ -> one RBRACK
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | '.', _ -> one DOT
+      | '?', _ -> one QUESTION
+      | ':', _ -> one COLON
+      | '*', _ -> one STAR
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '!', _ -> one BANG
+      | '=', _ -> one ASSIGN
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | _ -> raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+    end
+  done;
+  emit EOF;
+  List.rev !toks
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | CHARLIT c -> Printf.sprintf "char %C" c
+  | STRLIT s -> Printf.sprintf "string %S" s
+  | KW_TYPEDEF -> "'typedef'" | KW_ENUM -> "'enum'" | KW_STRUCT -> "'struct'"
+  | KW_IF -> "'if'" | KW_ELSE -> "'else'" | KW_WHILE -> "'while'" | KW_FOR -> "'for'"
+  | KW_RETURN -> "'return'" | KW_BREAK -> "'break'" | KW_CONTINUE -> "'continue'"
+  | KW_TRUE -> "'true'" | KW_FALSE -> "'false'"
+  | LPAREN -> "'('" | RPAREN -> "')'" | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACK -> "'['" | RBRACK -> "']'"
+  | SEMI -> "';'" | COMMA -> "','" | DOT -> "'.'" | QUESTION -> "'?'" | COLON -> "':'"
+  | STAR -> "'*'" | PLUS -> "'+'" | MINUS -> "'-'" | SLASH -> "'/'" | PERCENT -> "'%'"
+  | AMPAMP -> "'&&'" | BARBAR -> "'||'" | BANG -> "'!'"
+  | ASSIGN -> "'='" | EQEQ -> "'=='" | NE -> "'!='"
+  | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | PLUSEQ -> "'+='" | MINUSEQ -> "'-='" | PLUSPLUS -> "'++'" | MINUSMINUS -> "'--'"
+  | EOF -> "end of input"

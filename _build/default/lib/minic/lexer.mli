@@ -1,0 +1,31 @@
+(** Hand-written lexer for MiniC source text.
+
+    Preprocessor lines ([#include ...]) and comments are skipped, so
+    LLM-style completions with headers and doc comments lex cleanly. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | CHARLIT of char
+  | STRLIT of string
+  | KW_TYPEDEF | KW_ENUM | KW_STRUCT
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_TRUE | KW_FALSE
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACK | RBRACK
+  | SEMI | COMMA | DOT | QUESTION | COLON
+  | STAR | PLUS | MINUS | SLASH | PERCENT
+  | AMPAMP | BARBAR | BANG
+  | ASSIGN | EQEQ | NE | LT | LE | GT | GE
+  | PLUSEQ | MINUSEQ | PLUSPLUS | MINUSMINUS
+  | EOF
+
+exception Error of string * int
+(** Message and line number. *)
+
+val tokenize : string -> (token * int) list
+(** [tokenize src] lexes the whole input, pairing each token with its
+    line number. Always ends with [EOF].
+    @raise Error on an unrecognised character or unterminated literal. *)
+
+val token_to_string : token -> string

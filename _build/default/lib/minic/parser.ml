@@ -1,0 +1,479 @@
+exception Error of string * int
+
+type state = {
+  mutable toks : (Lexer.token * int) list;
+  mutable type_names : (string * Ast.ty) list;
+      (* typedef'd names in scope, plus builtin spellings *)
+  mutable enums : Ast.enum_def list;
+  mutable structs : Ast.struct_def list;
+  mutable protos : Ast.proto list;
+  mutable funcs : Ast.func list;
+}
+
+let builtin_types =
+  [
+    ("void", Ast.Tvoid);
+    ("bool", Ast.Tbool);
+    ("char", Ast.Tchar);
+    ("int", Ast.Tint 32);
+    ("uint8_t", Ast.Tint 8);
+    ("uint16_t", Ast.Tint 16);
+    ("uint32_t", Ast.Tint 32);
+    ("size_t", Ast.Tint 32);
+    ("String", Ast.Tstring);
+  ]
+
+let make src =
+  {
+    toks = Lexer.tokenize src;
+    type_names = builtin_types;
+    enums = [];
+    structs = [];
+    protos = [];
+    funcs = [];
+  }
+
+let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
+
+let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> Lexer.EOF
+
+let advance st =
+  match st.toks with
+  | (t, _) :: rest ->
+      st.toks <- rest;
+      t
+  | [] -> Lexer.EOF
+
+let fail st msg = raise (Error (msg, line st))
+
+let expect st tok =
+  let got = advance st in
+  if got <> tok then
+    fail st
+      (Printf.sprintf "expected %s but found %s" (Lexer.token_to_string tok)
+         (Lexer.token_to_string got))
+
+let expect_ident st =
+  match advance st with
+  | Lexer.IDENT s -> s
+  | t -> fail st (Printf.sprintf "expected an identifier, found %s" (Lexer.token_to_string t))
+
+let is_type_name st name = List.mem_assoc name st.type_names
+
+(* type := name '*'? — a trailing star only applies to char (yielding
+   the bounded string type); other pointer types are out of subset. *)
+let parse_ty st =
+  let name = expect_ident st in
+  let base =
+    match List.assoc_opt name st.type_names with
+    | Some t -> t
+    | None -> fail st (Printf.sprintf "unknown type name %S" name)
+  in
+  if peek st = Lexer.STAR then begin
+    ignore (advance st);
+    match base with
+    | Ast.Tchar -> Ast.Tstring
+    | _ -> fail st (Printf.sprintf "pointer to %s is outside the MiniC subset" name)
+  end
+  else base
+
+(* Applied after a declarator name: char buf[6] declares a string
+   buffer; T xs[n] declares a fixed array. *)
+let apply_array_suffix st ty =
+  if peek st = Lexer.LBRACK then begin
+    ignore (advance st);
+    let n = match advance st with
+      | Lexer.INT n -> n
+      | t -> fail st (Printf.sprintf "expected array size, found %s" (Lexer.token_to_string t))
+    in
+    expect st Lexer.RBRACK;
+    match ty with
+    | Ast.Tchar -> Ast.Tstring
+    | t -> Ast.Tarray (t, n)
+  end
+  else ty
+
+(* ----- expressions ----- *)
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_or st in
+  if peek st = Lexer.QUESTION then begin
+    ignore (advance st);
+    let a = parse_expr st in
+    expect st Lexer.COLON;
+    let b = parse_ternary st in
+    Ast.Econd (c, a, b)
+  end
+  else c
+
+and parse_or st =
+  let rec loop acc =
+    if peek st = Lexer.BARBAR then begin
+      ignore (advance st);
+      let rhs = parse_and st in
+      loop (Ast.Ebinop (Ast.Lor, acc, rhs))
+    end
+    else acc
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop acc =
+    if peek st = Lexer.AMPAMP then begin
+      ignore (advance st);
+      let rhs = parse_equality st in
+      loop (Ast.Ebinop (Ast.Land, acc, rhs))
+    end
+    else acc
+  in
+  loop (parse_equality st)
+
+and parse_equality st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.EQEQ ->
+        ignore (advance st);
+        loop (Ast.Ebinop (Ast.Eq, acc, parse_relational st))
+    | Lexer.NE ->
+        ignore (advance st);
+        loop (Ast.Ebinop (Ast.Ne, acc, parse_relational st))
+    | _ -> acc
+  in
+  loop (parse_relational st)
+
+and parse_relational st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.LT -> ignore (advance st); loop (Ast.Ebinop (Ast.Lt, acc, parse_additive st))
+    | Lexer.LE -> ignore (advance st); loop (Ast.Ebinop (Ast.Le, acc, parse_additive st))
+    | Lexer.GT -> ignore (advance st); loop (Ast.Ebinop (Ast.Gt, acc, parse_additive st))
+    | Lexer.GE -> ignore (advance st); loop (Ast.Ebinop (Ast.Ge, acc, parse_additive st))
+    | _ -> acc
+  in
+  loop (parse_additive st)
+
+and parse_additive st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS -> ignore (advance st); loop (Ast.Ebinop (Ast.Add, acc, parse_multiplicative st))
+    | Lexer.MINUS -> ignore (advance st); loop (Ast.Ebinop (Ast.Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  loop (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR -> ignore (advance st); loop (Ast.Ebinop (Ast.Mul, acc, parse_unary st))
+    | Lexer.SLASH -> ignore (advance st); loop (Ast.Ebinop (Ast.Div, acc, parse_unary st))
+    | Lexer.PERCENT -> ignore (advance st); loop (Ast.Ebinop (Ast.Mod, acc, parse_unary st))
+    | _ -> acc
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.BANG ->
+      ignore (advance st);
+      Ast.Eunop (Ast.Lnot, parse_unary st)
+  | Lexer.MINUS ->
+      ignore (advance st);
+      Ast.Eunop (Ast.Neg, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.DOT ->
+        ignore (advance st);
+        let field = expect_ident st in
+        loop (Ast.Efield (acc, field))
+    | Lexer.LBRACK ->
+        ignore (advance st);
+        let idx = parse_expr st in
+        expect st Lexer.RBRACK;
+        loop (Ast.Eindex (acc, idx))
+    | _ -> acc
+  in
+  loop (parse_primary st)
+
+and parse_primary st =
+  match advance st with
+  | Lexer.INT n -> Ast.Eint n
+  | Lexer.CHARLIT c -> Ast.Echar c
+  | Lexer.STRLIT s -> Ast.Estr s
+  | Lexer.KW_TRUE -> Ast.Ebool true
+  | Lexer.KW_FALSE -> Ast.Ebool false
+  | Lexer.LPAREN ->
+      let e = parse_expr st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.IDENT name ->
+      if peek st = Lexer.LPAREN then begin
+        ignore (advance st);
+        let args = parse_args st in
+        Ast.Ecall (name, args)
+      end
+      else Ast.Evar name
+  | t -> fail st (Printf.sprintf "unexpected %s in expression" (Lexer.token_to_string t))
+
+and parse_args st =
+  if peek st = Lexer.RPAREN then begin
+    ignore (advance st);
+    []
+  end
+  else begin
+    let rec loop acc =
+      let e = parse_expr st in
+      match advance st with
+      | Lexer.COMMA -> loop (e :: acc)
+      | Lexer.RPAREN -> List.rev (e :: acc)
+      | t -> fail st (Printf.sprintf "expected ',' or ')' in call, found %s" (Lexer.token_to_string t))
+    in
+    loop []
+  end
+
+(* ----- statements ----- *)
+
+let expr_to_lvalue st e =
+  let rec go = function
+    | Ast.Evar x -> Ast.Lvar x
+    | Ast.Efield (b, f) -> Ast.Lfield (go b, f)
+    | Ast.Eindex (b, i) -> Ast.Lindex (go b, i)
+    | _ -> fail st "left-hand side of assignment is not assignable"
+  in
+  go e
+
+let lvalue_to_expr lv =
+  let rec go = function
+    | Ast.Lvar x -> Ast.Evar x
+    | Ast.Lfield (b, f) -> Ast.Efield (go b, f)
+    | Ast.Lindex (b, i) -> Ast.Eindex (go b, i)
+  in
+  go lv
+
+(* A "simple statement" is a declaration, assignment or expression,
+   without the trailing semicolon; used in for-headers and bodies. *)
+let rec parse_simple st =
+  match peek st with
+  | Lexer.IDENT name when is_type_name st name && (match peek2 st with
+      | Lexer.IDENT _ | Lexer.STAR -> true
+      | _ -> false) ->
+      let ty = parse_ty st in
+      let name = expect_ident st in
+      let ty = apply_array_suffix st ty in
+      let init =
+        if peek st = Lexer.ASSIGN then begin
+          ignore (advance st);
+          Some (parse_expr st)
+        end
+        else None
+      in
+      Ast.Sdecl (ty, name, init)
+  | _ ->
+      let e = parse_expr st in
+      (match peek st with
+      | Lexer.ASSIGN ->
+          ignore (advance st);
+          let rhs = parse_expr st in
+          Ast.Sassign (expr_to_lvalue st e, rhs)
+      | Lexer.PLUSEQ ->
+          ignore (advance st);
+          let rhs = parse_expr st in
+          let lv = expr_to_lvalue st e in
+          Ast.Sassign (lv, Ast.Ebinop (Ast.Add, lvalue_to_expr lv, rhs))
+      | Lexer.MINUSEQ ->
+          ignore (advance st);
+          let rhs = parse_expr st in
+          let lv = expr_to_lvalue st e in
+          Ast.Sassign (lv, Ast.Ebinop (Ast.Sub, lvalue_to_expr lv, rhs))
+      | Lexer.PLUSPLUS ->
+          ignore (advance st);
+          let lv = expr_to_lvalue st e in
+          Ast.Sassign (lv, Ast.Ebinop (Ast.Add, lvalue_to_expr lv, Ast.Eint 1))
+      | Lexer.MINUSMINUS ->
+          ignore (advance st);
+          let lv = expr_to_lvalue st e in
+          Ast.Sassign (lv, Ast.Ebinop (Ast.Sub, lvalue_to_expr lv, Ast.Eint 1))
+      | _ -> Ast.Sexpr e)
+
+and parse_stmt st =
+  match peek st with
+  | Lexer.KW_IF ->
+      ignore (advance st);
+      expect st Lexer.LPAREN;
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN;
+      let then_ = parse_block_or_stmt st in
+      let else_ =
+        if peek st = Lexer.KW_ELSE then begin
+          ignore (advance st);
+          if peek st = Lexer.KW_IF then [ parse_stmt st ] else parse_block_or_stmt st
+        end
+        else []
+      in
+      Ast.Sif (cond, then_, else_)
+  | Lexer.KW_WHILE ->
+      ignore (advance st);
+      expect st Lexer.LPAREN;
+      let cond = parse_expr st in
+      expect st Lexer.RPAREN;
+      Ast.Swhile (cond, parse_block_or_stmt st)
+  | Lexer.KW_FOR ->
+      ignore (advance st);
+      expect st Lexer.LPAREN;
+      let init = if peek st = Lexer.SEMI then None else Some (parse_simple st) in
+      expect st Lexer.SEMI;
+      let cond = if peek st = Lexer.SEMI then Ast.Ebool true else parse_expr st in
+      expect st Lexer.SEMI;
+      let step = if peek st = Lexer.RPAREN then None else Some (parse_simple st) in
+      expect st Lexer.RPAREN;
+      Ast.Sfor (init, cond, step, parse_block_or_stmt st)
+  | Lexer.KW_RETURN ->
+      ignore (advance st);
+      if peek st = Lexer.SEMI then begin
+        ignore (advance st);
+        Ast.Sreturn None
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Lexer.SEMI;
+        Ast.Sreturn (Some e)
+      end
+  | Lexer.KW_BREAK ->
+      ignore (advance st);
+      expect st Lexer.SEMI;
+      Ast.Sbreak
+  | Lexer.KW_CONTINUE ->
+      ignore (advance st);
+      expect st Lexer.SEMI;
+      Ast.Scontinue
+  | _ ->
+      let s = parse_simple st in
+      expect st Lexer.SEMI;
+      s
+
+and parse_block_or_stmt st =
+  if peek st = Lexer.LBRACE then parse_block st else [ parse_stmt st ]
+
+and parse_block st =
+  expect st Lexer.LBRACE;
+  let rec loop acc =
+    if peek st = Lexer.RBRACE then begin
+      ignore (advance st);
+      List.rev acc
+    end
+    else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* ----- top level ----- *)
+
+let parse_enum_typedef st =
+  expect st Lexer.LBRACE;
+  let rec members acc =
+    match advance st with
+    | Lexer.IDENT m -> (
+        match advance st with
+        | Lexer.COMMA ->
+            if peek st = Lexer.RBRACE then begin
+              ignore (advance st);
+              List.rev (m :: acc)
+            end
+            else members (m :: acc)
+        | Lexer.RBRACE -> List.rev (m :: acc)
+        | t -> fail st (Printf.sprintf "expected ',' or '}' in enum, found %s" (Lexer.token_to_string t)))
+    | t -> fail st (Printf.sprintf "expected enum member, found %s" (Lexer.token_to_string t))
+  in
+  let members = members [] in
+  let name = expect_ident st in
+  expect st Lexer.SEMI;
+  let def = { Ast.ename = name; members } in
+  st.enums <- st.enums @ [ def ];
+  st.type_names <- (name, Ast.Tenum name) :: st.type_names
+
+let parse_struct_typedef st =
+  expect st Lexer.LBRACE;
+  let rec fields acc =
+    if peek st = Lexer.RBRACE then begin
+      ignore (advance st);
+      List.rev acc
+    end
+    else begin
+      let ty = parse_ty st in
+      let name = expect_ident st in
+      let ty = apply_array_suffix st ty in
+      expect st Lexer.SEMI;
+      fields ((ty, name) :: acc)
+    end
+  in
+  let fields = fields [] in
+  let name = expect_ident st in
+  expect st Lexer.SEMI;
+  let def = { Ast.sname = name; fields } in
+  st.structs <- st.structs @ [ def ];
+  st.type_names <- (name, Ast.Tstruct name) :: st.type_names
+
+let parse_params st =
+  expect st Lexer.LPAREN;
+  if peek st = Lexer.RPAREN then begin
+    ignore (advance st);
+    []
+  end
+  else begin
+    let rec loop acc =
+      let ty = parse_ty st in
+      let name = expect_ident st in
+      let ty = apply_array_suffix st ty in
+      match advance st with
+      | Lexer.COMMA -> loop ((ty, name) :: acc)
+      | Lexer.RPAREN -> List.rev ((ty, name) :: acc)
+      | t -> fail st (Printf.sprintf "expected ',' or ')' in parameters, found %s" (Lexer.token_to_string t))
+    in
+    loop []
+  end
+
+let parse_func_or_proto st =
+  let ret = parse_ty st in
+  let name = expect_ident st in
+  let params = parse_params st in
+  match peek st with
+  | Lexer.SEMI ->
+      ignore (advance st);
+      st.protos <- st.protos @ [ { Ast.pname = name; pret = ret; pparams = params; pdoc = [] } ]
+  | Lexer.LBRACE ->
+      let body = parse_block st in
+      st.funcs <- st.funcs @ [ { Ast.fname = name; ret; params; body; doc = [] } ]
+  | t -> fail st (Printf.sprintf "expected ';' or '{' after signature, found %s" (Lexer.token_to_string t))
+
+let program src =
+  let st = make src in
+  let rec loop () =
+    match peek st with
+    | Lexer.EOF -> ()
+    | Lexer.KW_TYPEDEF ->
+        ignore (advance st);
+        (match advance st with
+        | Lexer.KW_ENUM -> parse_enum_typedef st
+        | Lexer.KW_STRUCT -> parse_struct_typedef st
+        | t -> fail st (Printf.sprintf "expected 'enum' or 'struct' after typedef, found %s" (Lexer.token_to_string t)));
+        loop ()
+    | Lexer.SEMI ->
+        ignore (advance st);
+        loop ()
+    | _ ->
+        parse_func_or_proto st;
+        loop ()
+  in
+  loop ();
+  { Ast.enums = st.enums; structs = st.structs; protos = st.protos; funcs = st.funcs }
+
+let parse_result src =
+  match program src with
+  | p -> Ok p
+  | exception Error (msg, l) -> Error (Printf.sprintf "parse error at line %d: %s" l msg)
+  | exception Lexer.Error (msg, l) -> Error (Printf.sprintf "lexical error at line %d: %s" l msg)

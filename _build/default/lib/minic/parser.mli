@@ -1,0 +1,23 @@
+(** Recursive-descent parser for MiniC.
+
+    Accepts the C subset described in {!Ast}: typedef'd enums and
+    structs, function prototypes and definitions, structured control
+    flow, and expressions up to ternary conditionals. [char*] and
+    [String] both denote the bounded string type; [char buf[N]]
+    declares a local string buffer.
+
+    The parser is how "LLM output" enters the pipeline: anything it
+    rejects is a compilation failure, which the synthesis loop skips
+    exactly as the paper skips clang failures. *)
+
+exception Error of string * int
+(** Message and line number. *)
+
+val program : string -> Ast.program
+(** Parse a full translation unit.
+    @raise Error on syntax errors.
+    @raise Lexer.Error on lexical errors. *)
+
+val parse_result : string -> (Ast.program, string) result
+(** Like {!program} but catches both error exceptions and renders them
+    as a message, the form the synthesis loop consumes. *)

@@ -1,0 +1,155 @@
+let ty = Ast.ty_to_string
+
+let escape_char = function
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | '\000' -> "\\0"
+  | '\\' -> "\\\\"
+  | '\'' -> "\\'"
+  | c -> String.make 1 c
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\000' -> Buffer.add_string buf "\\0"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let binop_str = function
+  | Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*" | Ast.Div -> "/" | Ast.Mod -> "%"
+  | Ast.Eq -> "==" | Ast.Ne -> "!=" | Ast.Lt -> "<" | Ast.Le -> "<=" | Ast.Gt -> ">" | Ast.Ge -> ">="
+  | Ast.Land -> "&&" | Ast.Lor -> "||"
+
+(* Precedence levels for minimal parenthesisation; higher binds
+   tighter. Mirrors the parser's grammar. *)
+let binop_prec = function
+  | Ast.Lor -> 1
+  | Ast.Land -> 2
+  | Ast.Eq | Ast.Ne -> 3
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 4
+  | Ast.Add | Ast.Sub -> 5
+  | Ast.Mul | Ast.Div | Ast.Mod -> 6
+
+let rec expr_prec prec e =
+  match e with
+  | Ast.Ebool b -> if b then "true" else "false"
+  | Ast.Echar c -> Printf.sprintf "'%s'" (escape_char c)
+  | Ast.Eint n -> string_of_int n
+  | Ast.Eenum m -> m
+  | Ast.Estr s -> Printf.sprintf "\"%s\"" (escape_string s)
+  | Ast.Evar x -> x
+  | Ast.Efield (b, f) -> Printf.sprintf "%s.%s" (expr_prec 9 b) f
+  | Ast.Eindex (b, i) -> Printf.sprintf "%s[%s]" (expr_prec 9 b) (expr_prec 0 i)
+  | Ast.Eunop (Ast.Lnot, a) -> Printf.sprintf "!%s" (expr_prec 8 a)
+  | Ast.Eunop (Ast.Neg, a) -> Printf.sprintf "-%s" (expr_prec 8 a)
+  | Ast.Ebinop (op, a, b) ->
+      let p = binop_prec op in
+      let s =
+        Printf.sprintf "%s %s %s" (expr_prec p a) (binop_str op) (expr_prec (p + 1) b)
+      in
+      if p < prec then "(" ^ s ^ ")" else s
+  | Ast.Econd (c, a, b) ->
+      let s =
+        Printf.sprintf "%s ? %s : %s" (expr_prec 1 c) (expr_prec 0 a) (expr_prec 0 b)
+      in
+      if prec > 0 then "(" ^ s ^ ")" else s
+  | Ast.Ecall (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map (expr_prec 0) args))
+
+let expr e = expr_prec 0 e
+
+let rec lvalue = function
+  | Ast.Lvar x -> x
+  | Ast.Lfield (b, f) -> Printf.sprintf "%s.%s" (lvalue b) f
+  | Ast.Lindex (b, i) -> Printf.sprintf "%s[%s]" (lvalue b) (expr i)
+
+let decl_str ty_ name =
+  match ty_ with
+  | Ast.Tarray (t, n) -> Printf.sprintf "%s %s[%d]" (ty t) name n
+  | t -> Printf.sprintf "%s %s" (ty t) name
+
+let rec stmt ?(indent = 0) s =
+  let pad = String.make (indent * 2) ' ' in
+  let block body = stmts ~indent:(indent + 1) body in
+  match s with
+  | Ast.Sdecl (t, x, None) -> Printf.sprintf "%s%s;" pad (decl_str t x)
+  | Ast.Sdecl (t, x, Some e) -> Printf.sprintf "%s%s = %s;" pad (decl_str t x) (expr e)
+  | Ast.Sassign (lv, e) -> Printf.sprintf "%s%s = %s;" pad (lvalue lv) (expr e)
+  | Ast.Sif (c, t, []) ->
+      Printf.sprintf "%sif (%s) {\n%s\n%s}" pad (expr c) (block t) pad
+  | Ast.Sif (c, t, e) ->
+      Printf.sprintf "%sif (%s) {\n%s\n%s} else {\n%s\n%s}" pad (expr c) (block t) pad
+        (block e) pad
+  | Ast.Swhile (c, body) ->
+      Printf.sprintf "%swhile (%s) {\n%s\n%s}" pad (expr c) (block body) pad
+  | Ast.Sfor (init, c, step, body) ->
+      let simple = function
+        | None -> ""
+        | Some s -> (
+            let text = stmt ~indent:0 s in
+            (* strip the trailing semicolon a simple statement carries *)
+            match String.rindex_opt text ';' with
+            | Some i -> String.sub text 0 i
+            | None -> text)
+      in
+      Printf.sprintf "%sfor (%s; %s; %s) {\n%s\n%s}" pad (simple init) (expr c)
+        (simple step) (block body) pad
+  | Ast.Sreturn None -> Printf.sprintf "%sreturn;" pad
+  | Ast.Sreturn (Some e) -> Printf.sprintf "%sreturn %s;" pad (expr e)
+  | Ast.Sexpr e -> Printf.sprintf "%s%s;" pad (expr e)
+  | Ast.Sbreak -> Printf.sprintf "%sbreak;" pad
+  | Ast.Scontinue -> Printf.sprintf "%scontinue;" pad
+
+and stmts ~indent body = String.concat "\n" (List.map (stmt ~indent) body)
+
+let enum_def (e : Ast.enum_def) =
+  Printf.sprintf "typedef enum {\n  %s\n} %s;" (String.concat ", " e.members) e.ename
+
+let struct_def (s : Ast.struct_def) =
+  let field (t, name) = Printf.sprintf "  %s;" (decl_str t name) in
+  Printf.sprintf "typedef struct {\n%s\n} %s;"
+    (String.concat "\n" (List.map field s.fields))
+    s.sname
+
+let params_str ps =
+  String.concat ", " (List.map (fun (t, name) -> decl_str t name) ps)
+
+let signature (f : Ast.func) =
+  Printf.sprintf "%s %s(%s)" (ty f.ret) f.fname (params_str f.params)
+
+let doc_lines doc =
+  String.concat "" (List.map (fun l -> Printf.sprintf "// %s\n" l) doc)
+
+let proto (p : Ast.proto) =
+  Printf.sprintf "%s%s %s(%s);" (doc_lines p.pdoc) (ty p.pret) p.pname (params_str p.pparams)
+
+let func (f : Ast.func) =
+  Printf.sprintf "%s%s {\n%s\n}" (doc_lines f.doc) (signature f) (stmts ~indent:1 f.body)
+
+let default_headers =
+  [ "#include <stdint.h>"; "#include <stdbool.h>"; "#include <string.h>" ]
+
+let program ?(headers = true) (p : Ast.program) =
+  let parts =
+    (if headers then [ String.concat "\n" default_headers ] else [])
+    @ List.map enum_def p.enums
+    @ List.map struct_def p.structs
+    @ List.map proto p.protos
+    @ List.map func p.funcs
+  in
+  String.concat "\n\n" parts ^ "\n"
+
+let loc text =
+  let count = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun l -> if String.trim l <> "" then incr count);
+  !count

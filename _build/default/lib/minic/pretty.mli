@@ -1,0 +1,31 @@
+(** C-syntax pretty-printer for MiniC.
+
+    Output round-trips through {!Parser} (property-tested), and is what
+    the prompt generator embeds in prompts and what the simulated LLM
+    returns as its "completion". *)
+
+val ty : Ast.ty -> string
+
+val expr : Ast.expr -> string
+
+val stmt : ?indent:int -> Ast.stmt -> string
+
+val enum_def : Ast.enum_def -> string
+
+val struct_def : Ast.struct_def -> string
+
+val signature : Ast.func -> string
+(** [bool f(char* q, Record r)] — no body, no trailing [;]. *)
+
+val proto : Ast.proto -> string
+(** Signature with doc comment lines and a trailing [;]. *)
+
+val func : Ast.func -> string
+(** Full definition with doc comment lines. *)
+
+val program : ?headers:bool -> Ast.program -> string
+(** Whole translation unit; [headers] (default [true]) prepends the
+    [#include] lines the paper's prompts carry. *)
+
+val loc : string -> int
+(** Count non-blank lines, the unit of the paper's "LOC (C)" column. *)

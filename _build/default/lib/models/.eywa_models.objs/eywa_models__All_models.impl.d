@@ -1,0 +1,1 @@
+lib/models/all_models.ml: Bgp_models Dns_models List Model_def Smtp_models

@@ -1,0 +1,1 @@
+lib/models/all_models.mli: Model_def

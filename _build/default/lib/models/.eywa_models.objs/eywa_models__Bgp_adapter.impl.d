@@ -1,0 +1,1 @@
+lib/models/bgp_adapter.ml: Bgp_models Eywa_bgp Eywa_core Eywa_difftest Int32 List String

@@ -1,0 +1,1 @@
+lib/models/bgp_adapter.mli: Eywa_bgp Eywa_core Eywa_difftest

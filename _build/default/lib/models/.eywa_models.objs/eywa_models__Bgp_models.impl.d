@@ -1,0 +1,1 @@
+lib/models/bgp_models.ml: Emodule Etype Eywa_bgp Eywa_core Eywa_minic Graph Int32 List Model_def Testcase

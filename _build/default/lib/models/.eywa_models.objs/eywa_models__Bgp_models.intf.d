@@ -1,0 +1,1 @@
+lib/models/bgp_models.mli: Eywa_bgp Eywa_core Model_def

@@ -1,0 +1,1 @@
+lib/models/dns_adapter.ml: Dns_models Eywa_core Eywa_difftest Eywa_dns List String

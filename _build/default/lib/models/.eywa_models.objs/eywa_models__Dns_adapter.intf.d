@@ -1,0 +1,1 @@
+lib/models/dns_adapter.mli: Eywa_core Eywa_difftest Eywa_dns

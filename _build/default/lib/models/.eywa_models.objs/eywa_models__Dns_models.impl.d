@@ -1,0 +1,1 @@
+lib/models/dns_models.ml: Array Emodule Etype Eywa_core Eywa_dns Eywa_minic Graph List Model_def Testcase

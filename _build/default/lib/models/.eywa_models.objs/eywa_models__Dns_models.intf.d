@@ -1,0 +1,1 @@
+lib/models/dns_models.mli: Eywa_core Eywa_dns Model_def

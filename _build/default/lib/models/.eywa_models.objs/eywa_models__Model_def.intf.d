@@ -1,0 +1,1 @@
+lib/models/model_def.mli: Eywa_core

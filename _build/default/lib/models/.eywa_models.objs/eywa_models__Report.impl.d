@@ -1,0 +1,1 @@
+lib/models/report.ml: Buffer Dns_adapter Eywa_core Eywa_difftest Eywa_dns List Printf String

@@ -1,0 +1,1 @@
+lib/models/report.mli: Eywa_core Eywa_difftest Eywa_dns

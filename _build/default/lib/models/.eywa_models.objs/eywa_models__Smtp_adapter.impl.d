@@ -1,0 +1,1 @@
+lib/models/smtp_adapter.ml: Eywa_core Eywa_difftest Eywa_llm Eywa_smtp Eywa_stategraph List Smtp_models

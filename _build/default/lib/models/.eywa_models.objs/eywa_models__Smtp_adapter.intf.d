@@ -1,0 +1,1 @@
+lib/models/smtp_adapter.mli: Eywa_core Eywa_difftest Eywa_smtp Eywa_stategraph

@@ -1,0 +1,1 @@
+lib/models/smtp_models.ml: Emodule Etype Eywa_core Eywa_minic Graph List Model_def Testcase

@@ -1,0 +1,1 @@
+lib/models/smtp_models.mli: Eywa_core Model_def

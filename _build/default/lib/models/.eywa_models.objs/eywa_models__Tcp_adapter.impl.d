@@ -1,0 +1,1 @@
+lib/models/tcp_adapter.ml: Eywa_core Eywa_difftest Eywa_llm Eywa_stategraph Eywa_tcp List Tcp_models

@@ -1,0 +1,1 @@
+lib/models/tcp_adapter.mli: Eywa_core Eywa_difftest Eywa_stategraph Eywa_tcp

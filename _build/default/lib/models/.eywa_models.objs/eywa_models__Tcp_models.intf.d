@@ -1,0 +1,1 @@
+lib/models/tcp_models.mli: Eywa_core Model_def

@@ -1,0 +1,12 @@
+(** The complete Table 2 roster. *)
+
+val dns : Model_def.t list
+val bgp : Model_def.t list
+val smtp : Model_def.t list
+
+val all : Model_def.t list
+(** All thirteen models, DNS then BGP then SMTP (the TCP extension
+    model is separate; see {!Tcp_models}). *)
+
+val find : string -> Model_def.t option
+(** Look up by Table 2 id, e.g. ["RMAP-PL"]. *)

@@ -1,0 +1,248 @@
+module Bgp = Eywa_bgp
+module Difftest = Eywa_difftest.Difftest
+module Testcase = Eywa_core.Testcase
+
+let injected_prefix = Bgp.Prefix.v (Int32.shift_left 5l 28) 4
+
+let render_rib rib =
+  String.concat " | " (List.map Bgp.Route.to_string rib)
+
+(* ----- scenario construction per model ----- *)
+
+(* CONFED: R2 sits in a confederation; the test chooses the peer AS,
+   R2's sub-AS, the confederation id, and whether the peer is a member.
+   R2 exports to R3 with local-as replace-as configured, which is the
+   FRR replace-as bug surface. *)
+let confed_scenario test quirks =
+  let peer_as = Bgp_models.test_int test "peer_as" in
+  let my_sub_as = Bgp_models.test_int test "my_sub_as" in
+  let confed_id = Bgp_models.test_int test "confed_id" in
+  let peer_in_confed = Bgp_models.test_bool test "peer_in_confed" in
+  let confed =
+    Some
+      {
+        Bgp.Confed.confed_id;
+        sub_as = my_sub_as;
+        members = (if peer_in_confed then [ my_sub_as; peer_as ] else [ my_sub_as ]);
+      }
+  in
+  let r2 =
+    {
+      Bgp.Network.rname = "r2"; asn = my_sub_as; confed; cluster_id = 2;
+      prefix_lists = []; route_maps = [];
+    }
+  in
+  let r3 =
+    { Bgp.Network.rname = "r3"; asn = 7; confed = None; cluster_id = 3;
+      prefix_lists = []; route_maps = [] }
+  in
+  let r2_in =
+    { Bgp.Network.peer_as; peer_in_confed; peer_kind = Bgp.Reflect.External;
+      import_map = None; export_map = None; replace_as = None }
+  in
+  let r2_out =
+    { Bgp.Network.peer_as = 7; peer_in_confed = false;
+      peer_kind = Bgp.Reflect.External; import_map = None; export_map = None;
+      replace_as = Some (6, true) }
+  in
+  let r3_in =
+    { Bgp.Network.peer_as = confed_id; peer_in_confed = false;
+      peer_kind = Bgp.Reflect.External; import_map = None; export_map = None;
+      replace_as = None }
+  in
+  let injected =
+    [ Bgp.Route.v ~as_path:(Bgp.Aspath.prepend peer_as Bgp.Aspath.empty)
+        injected_prefix ]
+  in
+  let session =
+    Bgp.Confed.agree ~quirks confed ~local_as:my_sub_as ~peer_as ~peer_in_confed
+  in
+  let r2_rib, r3_rib =
+    Bgp.Network.run_chain ~quirks ~r2 ~r2_in ~r2_out ~r3 ~r3_in ~injected ()
+  in
+  [
+    ("session", Bgp.Confed.session_to_string session);
+    ("r2_rib", render_rib r2_rib);
+    ("r3_rib", render_rib r3_rib);
+  ]
+
+(* RR / RR-RMAP: R2 is a route reflector; the test chooses the peer
+   kinds on both sides, and (for RR-RMAP) an export policy from the
+   prefix-list entry. Injected routes carry a non-default local-pref so
+   the Batfish local-pref bug is observable at R3. *)
+let reflect_scenario ~with_policy test quirks =
+  let from_kind = Bgp_models.test_peer_type test "from_peer" in
+  let to_kind = Bgp_models.test_peer_type test "to_peer" in
+  let prefix_lists, route_maps, export_map =
+    if with_policy then begin
+      match Bgp_models.test_prefix_entry test with
+      | None -> ([], [], None)
+      | Some entry ->
+          ( [ { Bgp.Policy.pl_name = "pl"; entries = [ entry ] } ],
+            [
+              {
+                Bgp.Policy.rm_name = "export";
+                stanzas =
+                  [
+                    {
+                      Bgp.Policy.stanza_seq = 10;
+                      stanza_permit = true;
+                      matches = [ Bgp.Policy.Match_prefix_list "pl" ];
+                      sets = [];
+                    };
+                  ];
+              };
+            ],
+            Some "export" )
+    end
+    else ([], [], None)
+  in
+  let kind_as = function
+    | Bgp.Reflect.External -> 9  (* eBGP peers are in another AS *)
+    | Bgp.Reflect.Client | Bgp.Reflect.Non_client -> 2
+  in
+  let r2 =
+    { Bgp.Network.rname = "r2"; asn = 2; confed = None; cluster_id = 2;
+      prefix_lists; route_maps }
+  in
+  let r3 =
+    { Bgp.Network.rname = "r3"; asn = kind_as to_kind; confed = None;
+      cluster_id = 3; prefix_lists = []; route_maps = [] }
+  in
+  let r2_in =
+    { Bgp.Network.peer_as = kind_as from_kind; peer_in_confed = false;
+      peer_kind = from_kind; import_map = None; export_map = None;
+      replace_as = None }
+  in
+  let r2_out =
+    { Bgp.Network.peer_as = kind_as to_kind; peer_in_confed = false;
+      peer_kind = to_kind; import_map = None; export_map; replace_as = None }
+  in
+  let r3_in =
+    { Bgp.Network.peer_as = 2; peer_in_confed = false;
+      peer_kind = Bgp.Reflect.External; import_map = None; export_map = None;
+      replace_as = None }
+  in
+  let route =
+    match Bgp_models.test_route test with
+    | Some p -> Bgp.Route.v ~local_pref:200
+        ~as_path:(Bgp.Aspath.prepend (kind_as from_kind) Bgp.Aspath.empty) p
+    | None ->
+        Bgp.Route.v ~local_pref:200
+          ~as_path:(Bgp.Aspath.prepend (kind_as from_kind) Bgp.Aspath.empty)
+          injected_prefix
+  in
+  let r2_rib, r3_rib =
+    Bgp.Network.run_chain ~quirks ~r2 ~r2_in ~r2_out ~r3 ~r3_in ~injected:[ route ]
+      ()
+  in
+  [ ("r2_rib", render_rib r2_rib); ("r3_rib", render_rib r3_rib) ]
+
+(* RMAP-PL: pure policy evaluation — a route against a one-entry prefix
+   list used by a route-map stanza. *)
+let policy_scenario test quirks =
+  match (Bgp_models.test_route test, Bgp_models.test_prefix_entry test) with
+  | Some prefix, Some entry ->
+      let route = Bgp.Route.v prefix in
+      let pl = { Bgp.Policy.pl_name = "pl"; entries = [ entry ] } in
+      let rm =
+        {
+          Bgp.Policy.rm_name = "rm";
+          stanzas =
+            [
+              {
+                Bgp.Policy.stanza_seq = 10;
+                stanza_permit = true;
+                matches = [ Bgp.Policy.Match_prefix_list "pl" ];
+                sets = [ Bgp.Policy.Set_local_pref 150 ];
+              };
+            ];
+        }
+      in
+      let outcome =
+        Bgp.Policy.apply_route_map ~quirks ~prefix_lists:[ pl ] rm route
+      in
+      Some
+        [
+          ( "policy",
+            match outcome with
+            | None -> "deny"
+            | Some r -> "permit " ^ Bgp.Route.to_string r );
+        ]
+  | _, _ -> None
+
+let scenario ~model_id test quirks =
+  match model_id with
+  | "CONFED" -> Some (confed_scenario test quirks)
+  | "RR" -> Some (reflect_scenario ~with_policy:false test quirks)
+  | "RR-RMAP" -> Some (reflect_scenario ~with_policy:true test quirks)
+  | "RMAP-PL" -> policy_scenario test quirks
+  | _ -> None
+
+(* The injector on R1 is ExaBGP — an independent, correct
+   implementation that participates in the experiment. Including its
+   view as an observation means a bug shared by all three tested
+   implementations (the confederation sub-AS collision affects FRR,
+   GoBGP and Batfish alike) still surfaces as a disagreement. *)
+let observations_for ~model_id (test : Testcase.t) =
+  if test.bad_input || test.error <> None then None
+  else begin
+    let viewpoints =
+      ("exabgp", [])
+      :: List.map (fun impl -> (impl.Bgp.Impls.name, Bgp.Impls.quirks impl))
+           Bgp.Impls.all
+    in
+    let obs =
+      List.filter_map
+        (fun (name, quirks) ->
+          match scenario ~model_id test quirks with
+          | None -> None
+          | Some fields -> Some { Difftest.impl = name; fields })
+        viewpoints
+    in
+    match obs with [] -> None | _ -> Some obs
+  end
+
+let run ~model_id tests =
+  let acc = Difftest.create () in
+  List.iter
+    (fun test ->
+      match observations_for ~model_id test with
+      | None -> ()
+      | Some obs -> ignore (Difftest.record acc obs))
+    tests;
+  Difftest.report acc
+
+let quirks_triggered ~model_ids_and_tests =
+  let found = ref [] in
+  let note impl quirk =
+    if not (List.mem (impl, quirk) !found) then found := !found @ [ (impl, quirk) ]
+  in
+  List.iter
+    (fun (model_id, tests) ->
+      List.iter
+        (fun (test : Testcase.t) ->
+          match observations_for ~model_id test with
+          | None -> ()
+          | Some obs ->
+              let disagreements = Difftest.compare_all obs in
+              (* A disagreement anywhere on this test prompts quirk
+                 attribution for every implementation — majority voting
+                 alone cannot name the culprit when the bug is shared. *)
+              if disagreements <> [] then
+                List.iter
+                  (fun impl ->
+                    let active = Bgp.Impls.quirks impl in
+                    let with_all = scenario ~model_id test active in
+                    List.iter
+                      (fun q ->
+                        let without =
+                          scenario ~model_id test
+                            (List.filter (fun x -> x <> q) active)
+                        in
+                        if without <> with_all then note impl.Bgp.Impls.name q)
+                      active)
+                  Bgp.Impls.all)
+        tests)
+    model_ids_and_tests;
+  !found

@@ -1,0 +1,20 @@
+(** From BGP model tests to differential observations.
+
+    Each implementation (FRR, GoBGP, Batfish) is the reference engine
+    under its own quirk set. Tests are replayed on the §4.2 three-node
+    setup: routes injected at R1 (the ExaBGP stand-in) into R2, which
+    runs the configuration derived from the test and propagates to R3;
+    the observation renders the session outcome and both routing
+    tables. *)
+
+val observations_for :
+  model_id:string -> Eywa_core.Testcase.t -> Eywa_difftest.Difftest.observation list option
+
+val run :
+  model_id:string -> Eywa_core.Testcase.t list -> Eywa_difftest.Difftest.report
+
+val quirks_triggered :
+  model_ids_and_tests:(string * Eywa_core.Testcase.t list) list ->
+  (string * Eywa_bgp.Quirks.t) list
+(** Root-cause attribution by quirk removal, as in
+    {!Dns_adapter.quirks_triggered}. *)

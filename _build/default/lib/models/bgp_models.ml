@@ -1,0 +1,287 @@
+open Eywa_core
+module Value = Eywa_minic.Value
+
+(* Model-scale quantities: prefixes are 4 bits, mask lengths 0..4 (the
+   adapters scale them onto the top nibble of real 32-bit prefixes).
+   Bounding the types this way is exactly the paper's size-hint
+   mechanism, and keeps the symbolic state small. *)
+
+let asn_ty = Etype.int_ ~bits:3
+let prefix_ty = Etype.int_ ~bits:4
+let plen_ty = Etype.int_ ~bits:3
+
+let session_type =
+  Etype.enum "SessionType" [ "IBGP"; "EBGP_CONFED"; "EBGP"; "REJECT" ]
+
+let peer_type = Etype.enum "PeerType" [ "CLIENT"; "NONCLIENT"; "EBGP_PEER" ]
+
+let route_ty = Etype.struct_ "Route" [ ("prefix", prefix_ty); ("plen", plen_ty) ]
+
+let pfe_ty =
+  Etype.struct_ "PrefixListEntry"
+    [
+      ("prefix", prefix_ty);
+      ("plen", plen_ty);
+      ("ge", plen_ty);
+      ("le", plen_ty);
+      ("any", Etype.bool_);
+      ("permit", Etype.bool_);
+    ]
+
+let route_arg = Etype.Arg.v "route" route_ty "A BGP route advertisement."
+let pfe_arg = Etype.Arg.v "pfe" pfe_ty "A prefix list entry."
+
+let no_alphabet = [ 'a' ]
+
+(* ----- CONFED ----- *)
+
+let confed =
+  let peer_as = Etype.Arg.v "peer_as" asn_ty "The neighbor's AS number." in
+  let my_sub_as =
+    Etype.Arg.v "my_sub_as" asn_ty "This router's confederation sub-AS number."
+  in
+  let confed_id =
+    Etype.Arg.v "confed_id" asn_ty "The confederation identifier AS number."
+  in
+  let peer_in_confed =
+    Etype.Arg.v "peer_in_confed" Etype.bool_
+      "Whether the neighbor is a member of the confederation."
+  in
+  let result =
+    Etype.Arg.v "session" session_type "The BGP session type to establish."
+  in
+  let main =
+    Emodule.func_module "confed_action"
+      "Decide which kind of BGP session a router inside a confederation \
+       establishes with a neighbor."
+      [ peer_as; my_sub_as; confed_id; peer_in_confed; result ]
+  in
+  let g = Graph.create () in
+  (* register the lone module: a self loop-free call edge with no deps *)
+  Graph.call_edge g main [];
+  {
+    Model_def.id = "CONFED";
+    protocol = "BGP";
+    graph = g;
+    main;
+    spec_loc = 22;
+    alphabet = no_alphabet;
+    timeout = 5.0;
+  }
+
+(* ----- RR ----- *)
+
+let rr =
+  let from_peer =
+    Etype.Arg.v "from_peer" peer_type "The kind of peer the route was learned from."
+  in
+  let to_peer =
+    Etype.Arg.v "to_peer" peer_type "The kind of peer the route would be sent to."
+  in
+  let result =
+    Etype.Arg.v "propagate" Etype.bool_ "Whether the route reflector propagates it."
+  in
+  let main =
+    Emodule.func_module "rr_action"
+      "Decide whether a BGP route reflector propagates a route from one peer \
+       to another."
+      [ from_peer; to_peer; result ]
+  in
+  let g = Graph.create () in
+  Graph.call_edge g main [];
+  {
+    Model_def.id = "RR";
+    protocol = "BGP";
+    graph = g;
+    main;
+    spec_loc = 16;
+    alphabet = no_alphabet;
+    timeout = 5.0;
+  }
+
+(* ----- RMAP-PL: the Fig. 11 graph ----- *)
+
+let mask_helper =
+  let len = Etype.Arg.v "maskLength" plen_ty "The length of the prefix." in
+  let out =
+    Etype.Arg.v "mask" prefix_ty
+      "The unsigned integer representation of the prefix length."
+  in
+  Emodule.func_module "prefixLengthToSubnetMask"
+    "A function that takes as input the prefix length and converts it to the \
+     corresponding unsigned integer representation."
+    [ len; out ]
+
+let is_valid_route =
+  let out = Etype.Arg.v "valid" Etype.bool_ "If the route is well formed." in
+  Emodule.func_module "isValidRoute"
+    "If a BGP route advertisement is well formed (mask length in range, no \
+     host bits set)."
+    [ route_arg; out ]
+
+let is_valid_prefix_list =
+  let out = Etype.Arg.v "valid" Etype.bool_ "If the prefix list entry is well formed." in
+  Emodule.func_module "isValidPrefixList"
+    "If a prefix list entry is well formed (mask length and le/ge range \
+     consistent, no host bits set)."
+    [ pfe_arg; out ]
+
+let check_valid_inputs =
+  let out = Etype.Arg.v "valid" Etype.bool_ "If both inputs are well formed." in
+  Emodule.func_module "checkValidInputs"
+    "If a route and a prefix list entry are both well formed."
+    [ route_arg; pfe_arg; out ]
+
+let is_match_pfe =
+  let out =
+    Etype.Arg.v "matches" Etype.bool_
+      "True if the route matches the prefix list entry."
+  in
+  Emodule.func_module "isMatchPrefixListEntry"
+    "A function that takes as input a prefix list entry and a BGP route \
+     advertisement. If the route advertisement matches the prefix, then the \
+     function should return the value of the permit flag. In case there is no \
+     match, the function should vacuously return false."
+    [ route_arg; pfe_arg; out ]
+
+let rmap_pl =
+  let out =
+    Etype.Arg.v "permitted" Etype.bool_
+      "If the route-map stanza permits the route."
+  in
+  let main =
+    Emodule.func_module "isMatchRouteMapStanza"
+      "If a route-map stanza whose match clause uses the given prefix list \
+       entry permits a BGP route."
+      [ route_arg; pfe_arg; out ]
+  in
+  let g = Graph.create () in
+  Graph.call_edge g is_valid_prefix_list [ mask_helper ];
+  Graph.call_edge g is_valid_route [ mask_helper ];
+  Graph.call_edge g check_valid_inputs [ is_valid_prefix_list; is_valid_route ];
+  Graph.call_edge g is_match_pfe [ mask_helper ];
+  Graph.call_edge g main [ is_match_pfe ];
+  Graph.pipe g check_valid_inputs main;
+  {
+    Model_def.id = "RMAP-PL";
+    protocol = "BGP";
+    graph = g;
+    main;
+    spec_loc = 48;
+    alphabet = no_alphabet;
+    timeout = 10.0;
+  }
+
+(* ----- RR-RMAP ----- *)
+
+let rr_rmap =
+  let from_peer =
+    Etype.Arg.v "from_peer" peer_type "The kind of peer the route was learned from."
+  in
+  let to_peer =
+    Etype.Arg.v "to_peer" peer_type "The kind of peer the route would be sent to."
+  in
+  let out =
+    Etype.Arg.v "advertised" Etype.bool_
+      "If the route is both permitted by policy and reflectable."
+  in
+  let rr_helper =
+    Emodule.func_module "rr_action"
+      "Decide whether a BGP route reflector propagates a route from one peer \
+       to another."
+      [ from_peer; to_peer;
+        Etype.Arg.v "propagate" Etype.bool_ "Whether to propagate." ]
+  in
+  let main =
+    Emodule.func_module "rr_rmap_action"
+      "Whether a route reflector advertises a route to a peer, given an \
+       export policy based on a prefix list entry."
+      [ route_arg; pfe_arg; from_peer; to_peer; out ]
+  in
+  let g = Graph.create () in
+  Graph.call_edge g is_match_pfe [ mask_helper ];
+  Graph.call_edge g main [ is_match_pfe; rr_helper ];
+  Graph.pipe g check_valid_inputs main;
+  Graph.call_edge g check_valid_inputs [ is_valid_prefix_list; is_valid_route ];
+  Graph.call_edge g is_valid_prefix_list [ mask_helper ];
+  Graph.call_edge g is_valid_route [ mask_helper ];
+  {
+    Model_def.id = "RR-RMAP";
+    protocol = "BGP";
+    graph = g;
+    main;
+    spec_loc = 48;
+    alphabet = no_alphabet;
+    timeout = 10.0;
+  }
+
+let all = [ confed; rr; rmap_pl; rr_rmap ]
+
+(* ----- decoding helpers ----- *)
+
+let test_int (t : Testcase.t) name =
+  match List.assoc_opt name t.inputs with
+  | Some v -> ( try Value.to_int v with Invalid_argument _ -> 0)
+  | None -> 0
+
+let test_bool (t : Testcase.t) name =
+  match List.assoc_opt name t.inputs with
+  | Some (Value.Vbool b) -> b
+  | Some v -> ( try Value.to_int v <> 0 with Invalid_argument _ -> false)
+  | None -> false
+
+let struct_field (t : Testcase.t) arg field =
+  match List.assoc_opt arg t.inputs with
+  | Some (Value.Vstruct (_, fields)) -> List.assoc_opt field fields
+  | Some _ | None -> None
+
+let scale_prefix p len = Eywa_bgp.Prefix.v (Int32.shift_left (Int32.of_int p) 28) len
+
+let test_route (t : Testcase.t) =
+  match (struct_field t "route" "prefix", struct_field t "route" "plen") with
+  | Some p, Some l ->
+      let len = min (Value.to_int l) 32 in
+      if len > 4 then None else Some (scale_prefix (Value.to_int p) len)
+  | _, _ -> None
+
+let test_prefix_entry (t : Testcase.t) =
+  let field name = struct_field t "pfe" name in
+  match (field "prefix", field "plen") with
+  | Some p, Some l ->
+      let len = min (Value.to_int l) 4 in
+      let opt name =
+        match field name with
+        | Some v -> (
+            match Value.to_int v with 0 -> None | n when n <= 4 -> Some n | _ -> Some 4)
+        | None -> None
+      in
+      let flag name =
+        match field name with Some v -> Value.to_int v <> 0 | None -> false
+      in
+      if flag "any" then
+        (* "permit any" is spelled 0.0.0.0/0 le <max> in real configs *)
+        Some
+          {
+            Eywa_bgp.Policy.seq = 10;
+            permit = flag "permit";
+            prefix = scale_prefix 0 0;
+            ge = None;
+            le = Some 4;
+          }
+      else
+        Some
+          {
+            Eywa_bgp.Policy.seq = 10;
+            permit = flag "permit";
+            prefix = scale_prefix (Value.to_int p) len;
+            ge = opt "ge";
+            le = opt "le";
+          }
+  | _, _ -> None
+
+let test_peer_type (t : Testcase.t) name =
+  match List.assoc_opt name t.inputs with
+  | Some (Value.Venum (_, 0)) -> Eywa_bgp.Reflect.Client
+  | Some (Value.Venum (_, 1)) -> Eywa_bgp.Reflect.Non_client
+  | Some (Value.Venum (_, _)) -> Eywa_bgp.Reflect.External
+  | Some _ | None -> Eywa_bgp.Reflect.External

@@ -1,0 +1,25 @@
+(** The four BGP models of Table 2. RMAP-PL reproduces the Fig. 11
+    dependency graph verbatim (validity guards piped in front of the
+    matcher, helpers connected by call edges). *)
+
+val confed : Model_def.t
+val rr : Model_def.t
+val rmap_pl : Model_def.t
+val rr_rmap : Model_def.t
+
+val all : Model_def.t list
+
+(** Decoding helpers for the adapters. *)
+
+val test_int : Eywa_core.Testcase.t -> string -> int
+(** Scalar input by name; 0 when absent. *)
+
+val test_bool : Eywa_core.Testcase.t -> string -> bool
+
+val test_route : Eywa_core.Testcase.t -> Eywa_bgp.Prefix.t option
+(** The [route] struct input scaled up to a real /28-based prefix. *)
+
+val test_prefix_entry :
+  Eywa_core.Testcase.t -> Eywa_bgp.Policy.prefix_list_entry option
+
+val test_peer_type : Eywa_core.Testcase.t -> string -> Eywa_bgp.Reflect.peer_type

@@ -1,0 +1,122 @@
+module Dns = Eywa_dns
+module Difftest = Eywa_difftest.Difftest
+module Testcase = Eywa_core.Testcase
+
+let render_rrs rrs =
+  String.concat " | "
+    (List.sort_uniq compare (List.map Dns.Rr.to_string rrs))
+
+let fields_of_outcome = function
+  | Dns.Message.Crash m ->
+      [
+        ("crash", m); ("rcode", ""); ("aa", ""); ("answer", ""); ("authority", "");
+        ("additional", "");
+      ]
+  | Dns.Message.Reply r ->
+      [
+        ("crash", "");
+        ("rcode", Dns.Message.rcode_to_string r.rcode);
+        ("aa", string_of_bool r.aa);
+        ("answer", render_rrs r.answer);
+        ("authority", render_rrs r.authority);
+        ("additional", render_rrs r.additional);
+      ]
+
+(* Lookup-style models get the delegation so referral/glue behaviour is
+   reachable; per-record models keep the minimal zone. *)
+let with_delegation model_id =
+  match model_id with
+  | "FULLLOOKUP" | "AUTH" -> true
+  | _ -> false
+
+let artifacts_for ~model_id (test : Testcase.t) =
+  if test.bad_input || test.error <> None then None
+  else begin
+    let records =
+      match Dns_models.test_record test with
+      | Some r -> [ r ]
+      | None -> Dns_models.test_zone_records test
+    in
+    if records = [] then None
+    else begin
+      let zone =
+        Dns.Zonefile.build_zone ~extra_delegation:(with_delegation model_id) records
+      in
+      let qtype =
+        match model_id with
+        | "FULLLOOKUP" | "RCODE" | "AUTH" -> Dns_models.test_qtype test
+        | _ -> Dns.Rr.A
+      in
+      let query = Dns.Zonefile.build_query (Dns_models.test_query test) qtype in
+      Some (zone, query)
+    end
+  end
+
+let observations_for ~model_id ~version test =
+  match artifacts_for ~model_id test with
+  | None -> None
+  | Some (zone, query) ->
+      Some
+        (List.map
+           (fun impl ->
+             let outcome = Dns.Impls.serve impl version zone query in
+             { Difftest.impl = impl.Dns.Impls.name;
+               fields = fields_of_outcome outcome })
+           Dns.Impls.all)
+
+let run ~model_id ~version tests =
+  let acc = Difftest.create () in
+  List.iter
+    (fun test ->
+      match observations_for ~model_id ~version test with
+      | None -> ()
+      | Some obs -> ignore (Difftest.record acc obs))
+    tests;
+  Difftest.report acc
+
+let quirks_triggered ~version ~model_ids_and_tests =
+  let found = ref [] in
+  let note impl quirk =
+    if not (List.mem (impl, quirk) !found) then found := !found @ [ (impl, quirk) ]
+  in
+  List.iter
+    (fun (model_id, tests) ->
+      List.iter
+        (fun test ->
+          match artifacts_for ~model_id test with
+          | None -> ()
+          | Some (zone, query) ->
+              let outcomes =
+                List.map
+                  (fun impl ->
+                    (impl, Dns.Impls.serve impl version zone query))
+                  Dns.Impls.all
+              in
+              let fieldss =
+                List.map
+                  (fun (impl, o) ->
+                    { Difftest.impl = impl.Dns.Impls.name;
+                      fields = fields_of_outcome o })
+                  outcomes
+              in
+              let disagreements = Difftest.compare_all fieldss in
+              List.iter
+                (fun (d : Difftest.disagreement) ->
+                  match Dns.Impls.find d.d_impl with
+                  | None -> ()
+                  | Some impl ->
+                      let active = Dns.Impls.quirks impl version in
+                      let with_all = Dns.Lookup.lookup ~quirks:active zone query in
+                      List.iter
+                        (fun q ->
+                          let without =
+                            Dns.Lookup.lookup
+                              ~quirks:(List.filter (fun x -> x <> q) active)
+                              zone query
+                          in
+                          if without <> with_all then note impl.Dns.Impls.name q)
+                        active)
+                disagreements)
+        tests)
+    model_ids_and_tests;
+  !found

@@ -1,0 +1,40 @@
+(** From DNS model tests to differential observations (§4.2).
+
+    Each test's inputs are post-processed into a valid zone (§2.3's
+    suffixing plus apex SOA/NS; lookup-oriented models additionally get
+    a child delegation with sibling glue so referral behaviour is
+    exercised) and a query, which are then served by every
+    implementation of Table 1. The response fields compared are the
+    ones the paper lists: answer, authority, additional sections, the
+    aa flag, the return code, and whether the server crashed. *)
+
+val fields_of_outcome : Eywa_dns.Message.outcome -> Eywa_difftest.Difftest.fields
+
+val artifacts_for :
+  model_id:string ->
+  Eywa_core.Testcase.t ->
+  (Eywa_dns.Zone.t * Eywa_dns.Message.query) option
+(** The zone and query a test turns into; [None] for bad-input or
+    crash-path tests, which are not replayed against servers. *)
+
+val observations_for :
+  model_id:string ->
+  version:Eywa_dns.Impls.version ->
+  Eywa_core.Testcase.t ->
+  Eywa_difftest.Difftest.observation list option
+
+val run :
+  model_id:string ->
+  version:Eywa_dns.Impls.version ->
+  Eywa_core.Testcase.t list ->
+  Eywa_difftest.Difftest.report
+
+val quirks_triggered :
+  version:Eywa_dns.Impls.version ->
+  model_ids_and_tests:(string * Eywa_core.Testcase.t list) list ->
+  (string * Eywa_dns.Lookup.quirk) list
+(** Root-cause attribution: for every disagreeing (implementation,
+    test), re-serve the query with each of the implementation's quirks
+    removed in turn; a quirk whose removal repairs the response is the
+    root cause. Returns the distinct (implementation, quirk) pairs
+    confirmed by at least one test — the "bugs found" of Table 3. *)

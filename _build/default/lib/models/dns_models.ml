@@ -1,0 +1,203 @@
+open Eywa_core
+module Value = Eywa_minic.Value
+
+let record_type =
+  Etype.enum "RecordType" [ "A"; "AAAA"; "NS"; "TXT"; "CNAME"; "DNAME"; "SOA" ]
+
+let rcode_type = Etype.enum "RCode" [ "NOERROR"; "NXDOMAIN"; "SERVFAIL" ]
+
+let valid_domain_pattern = {|[a*](\.[a*])*|}
+
+let zone_domain_pattern = {|[ab*](\.[ab*])*|}
+
+let dns_alphabet = [ 'a'; '.'; '*' ]
+
+(* ----- per-record models (CNAME, DNAME, WILDCARD, IPV4) ----- *)
+
+(* One model per record type: does this record apply to this query?
+   This is the Fig. 1 shape: a regex pipe validating the query, one
+   FuncModule doing the matching. *)
+let per_record_model ~id ~fname ~desc ?(alphabet = dns_alphabet) ?(extra_call = None)
+    ~spec_loc () =
+  let domain = Etype.string_ ~maxsize:5 in
+  let short = Etype.string_ ~maxsize:3 in
+  let record_ty =
+    Etype.struct_ "Record"
+      [ ("rtyp", record_type); ("name", short); ("rdat", short) ]
+  in
+  let query = Etype.Arg.v "query" domain "A DNS query domain name." in
+  let record = Etype.Arg.v "record" record_ty "A DNS record." in
+  let result = Etype.Arg.v "result" Etype.bool_ "If the DNS record matches the query." in
+  let valid_query = Emodule.regex_module valid_domain_pattern query in
+  let main = Emodule.func_module fname desc [ query; record; result ] in
+  let g = Graph.create () in
+  Graph.pipe g valid_query main;
+  (match extra_call with
+  | None -> ()
+  | Some dep -> Graph.call_edge g main [ dep ]);
+  {
+    Model_def.id;
+    protocol = "DNS";
+    graph = g;
+    main;
+    spec_loc;
+    alphabet;
+    timeout = 5.0;
+  }
+
+let cname =
+  per_record_model ~id:"CNAME" ~fname:"cname_applies"
+    ~desc:"If a CNAME record matches a query." ~spec_loc:21 ()
+
+let dname =
+  per_record_model ~id:"DNAME" ~fname:"dname_applies"
+    ~desc:"If a DNAME record matches a query." ~spec_loc:23 ()
+
+let wildcard =
+  per_record_model ~id:"WILDCARD" ~fname:"wildcard_applies"
+    ~desc:"If a wildcard record matches a query." ~spec_loc:23 ()
+
+let ipv4 =
+  let rdata = Etype.Arg.v "rdata" (Etype.string_ ~maxsize:3) "The record data." in
+  let ok = Etype.Arg.v "ok" Etype.bool_ "If the data is a valid IPv4 address." in
+  let helper =
+    Emodule.func_module "is_valid_ipv4"
+      "If a string is a well-formed dotted-decimal IPv4 address." [ rdata; ok ]
+  in
+  per_record_model ~id:"IPV4" ~fname:"ipv4_applies"
+    ~desc:"If an A record with valid IPv4 data matches a query."
+    ~alphabet:[ 'a'; '.'; '*'; '1' ]
+    ~extra_call:(Some helper) ~spec_loc:21 ()
+
+(* ----- zone-level models (FULLLOOKUP, RCODE, AUTH, LOOP) ----- *)
+
+let short_domain = Etype.string_ ~maxsize:3
+
+let record_ty =
+  Etype.struct_ "Record"
+    [ ("rtyp", record_type); ("name", short_domain); ("rdat", short_domain) ]
+
+let zone_ty = Etype.struct_ "Zone" [ ("recs", Etype.array record_ty 2) ]
+
+let response_ty =
+  Etype.struct_ "Response"
+    [ ("rcode", rcode_type); ("ans", record_type); ("synthesized", Etype.bool_) ]
+
+let zone_arg = Etype.Arg.v "zone" zone_ty "The zone file records."
+let query_arg = Etype.Arg.v "query" short_domain "A DNS query domain name."
+let qtype_arg = Etype.Arg.v "qtype" record_type "The DNS query type."
+
+let matcher_helper =
+  let r = Etype.Arg.v "record" record_ty "A DNS record." in
+  let out =
+    Etype.Arg.v "matches" Etype.bool_
+      "If the record's owner name covers the query (exact, wildcard or DNAME)."
+  in
+  Emodule.func_module "record_matches_name"
+    "If a record's owner name covers a query, by exact match, wildcard match, \
+     or DNAME suffix match."
+    [ query_arg; r; out ]
+
+let zone_model ~id ~fname ~desc ~result ~spec_loc ?(with_qtype = true) () =
+  let args =
+    if with_qtype then [ query_arg; qtype_arg; zone_arg; result ]
+    else [ query_arg; zone_arg; result ]
+  in
+  let valid_query = Emodule.regex_module zone_domain_pattern query_arg in
+  let main = Emodule.func_module fname desc args in
+  let g = Graph.create () in
+  Graph.pipe g valid_query main;
+  Graph.call_edge g main [ matcher_helper ];
+  {
+    Model_def.id;
+    protocol = "DNS";
+    graph = g;
+    main;
+    spec_loc;
+    (* 'b' lets generated queries reach the post-processing delegation
+       installed at b.test. (sibling-glue behaviour, §2.3) *)
+    alphabet = [ 'a'; 'b'; '.'; '*' ];
+    timeout = 10.0;
+  }
+
+let fulllookup =
+  zone_model ~id:"FULLLOOKUP" ~fname:"full_lookup"
+    ~desc:
+      "The full DNS authoritative lookup of a query in a zone, returning the \
+       response code, answer type and whether a record was synthesized."
+    ~result:(Etype.Arg.v "response" response_ty "The DNS response.")
+    ~spec_loc:26 ()
+
+let rcode =
+  zone_model ~id:"RCODE" ~fname:"rcode_lookup"
+    ~desc:"The DNS response code for a query against a zone."
+    ~result:(Etype.Arg.v "rcode" rcode_type "The DNS response code.")
+    ~spec_loc:26 ()
+
+let auth =
+  zone_model ~id:"AUTH" ~fname:"auth_lookup"
+    ~desc:
+      "Whether the authoritative-answer flag is set when answering a query \
+       from a zone (false under a zone cut)."
+    ~result:(Etype.Arg.v "aa" Etype.bool_ "The authoritative answer flag.")
+    ~spec_loc:26 ()
+
+let loop =
+  zone_model ~id:"LOOP" ~fname:"loop_count"
+    ~desc:
+      "How many times a DNS query is rewritten by CNAME or DNAME records of a \
+       zone before resolution stops."
+    ~result:(Etype.Arg.v "rewrites" (Etype.int_ ~bits:3) "The number of rewrites.")
+    ~spec_loc:26 ~with_qtype:false ()
+
+let all = [ cname; dname; wildcard; ipv4; fulllookup; rcode; auth; loop ]
+
+(* ----- decoding helpers ----- *)
+
+let test_query (t : Testcase.t) =
+  match List.assoc_opt "query" t.inputs with
+  | Some v -> Value.cstring v
+  | None -> ""
+
+let rtype_of_index i =
+  match i with
+  | 0 -> Eywa_dns.Rr.A
+  | 1 -> Eywa_dns.Rr.AAAA
+  | 2 -> Eywa_dns.Rr.NS
+  | 3 -> Eywa_dns.Rr.TXT
+  | 4 -> Eywa_dns.Rr.CNAME
+  | 5 -> Eywa_dns.Rr.DNAME
+  | _ -> Eywa_dns.Rr.SOA
+
+let test_qtype (t : Testcase.t) =
+  match List.assoc_opt "qtype" t.inputs with
+  | Some (Value.Venum (_, i)) -> rtype_of_index i
+  | Some _ | None -> Eywa_dns.Rr.A
+
+let record_of_value (v : Value.t) =
+  match v with
+  | Value.Vstruct (_, fields) ->
+      let str name =
+        match List.assoc_opt name fields with
+        | Some (Value.Vstring _ as s) -> Value.cstring s
+        | Some _ | None -> ""
+      in
+      let rtype =
+        match List.assoc_opt "rtyp" fields with
+        | Some (Value.Venum (_, i)) -> rtype_of_index i
+        | Some _ | None -> Eywa_dns.Rr.A
+      in
+      Some
+        { Eywa_dns.Zonefile.rname = str "name"; rtype; rdata = str "rdat" }
+  | _ -> None
+
+let test_record (t : Testcase.t) =
+  match List.assoc_opt "record" t.inputs with
+  | Some v -> record_of_value v
+  | None -> None
+
+let test_zone_records (t : Testcase.t) =
+  match List.assoc_opt "zone" t.inputs with
+  | Some (Value.Vstruct (_, [ ("recs", Value.Varray recs) ])) ->
+      List.filter_map record_of_value (Array.to_list recs)
+  | Some _ | None -> []

@@ -1,0 +1,34 @@
+(** The eight DNS models of Table 2, defined through the Eywa core API
+    exactly as the paper's Fig. 1 does in Python. *)
+
+val record_type : Eywa_core.Etype.t
+(** The shared RecordType enum. *)
+
+val rcode_type : Eywa_core.Etype.t
+(** The RCode enum used by lookup-style models. *)
+
+val cname : Model_def.t
+val dname : Model_def.t
+val wildcard : Model_def.t
+val ipv4 : Model_def.t
+val fulllookup : Model_def.t
+val rcode : Model_def.t
+val auth : Model_def.t
+val loop : Model_def.t
+
+val all : Model_def.t list
+
+(** Decoding helpers for the adapters: read typed inputs back out of a
+    generated test case. *)
+
+val test_query : Eywa_core.Testcase.t -> string
+val test_qtype : Eywa_core.Testcase.t -> Eywa_dns.Rr.rtype
+(** Defaults to [A] when the model has no qtype input. *)
+
+val test_record :
+  Eywa_core.Testcase.t -> Eywa_dns.Zonefile.test_record option
+(** The single [record] input of the per-record models. *)
+
+val test_zone_records :
+  Eywa_core.Testcase.t -> Eywa_dns.Zonefile.test_record list
+(** The [zone] input of the lookup models. *)

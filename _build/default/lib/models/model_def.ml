@@ -1,0 +1,26 @@
+type t = {
+  id : string;
+  protocol : string;
+  graph : Eywa_core.Graph.t;
+  main : Eywa_core.Emodule.t;
+  spec_loc : int;
+  alphabet : char list;
+  timeout : float;
+}
+
+let synthesize ?(k = 10) ?(temperature = 0.6) ?(seed = 42) ?timeout ?max_paths
+    ~oracle t =
+  let config =
+    {
+      Eywa_core.Synthesis.default_config with
+      k;
+      temperature;
+      timeout = (match timeout with Some s -> s | None -> t.timeout);
+      alphabet = t.alphabet;
+      base_seed = seed;
+    }
+  in
+  let config =
+    match max_paths with Some n -> { config with max_paths = n } | None -> config
+  in
+  Eywa_core.Synthesis.run ~config ~oracle t.graph ~main:t.main

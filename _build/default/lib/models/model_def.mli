@@ -1,0 +1,25 @@
+(** A named Eywa model (one row of Table 2): its module graph, entry
+    module, and synthesis parameters. *)
+
+type t = {
+  id : string;  (** Table 2 name, e.g. "CNAME" *)
+  protocol : string;  (** "DNS" | "BGP" | "SMTP" *)
+  graph : Eywa_core.Graph.t;
+  main : Eywa_core.Emodule.t;
+  spec_loc : int;  (** lines of the defining model code (Table 2 "LOC") *)
+  alphabet : char list;  (** character domain for this model's strings *)
+  timeout : float;  (** per-model symbolic execution budget, seconds *)
+}
+
+val synthesize :
+  ?k:int ->
+  ?temperature:float ->
+  ?seed:int ->
+  ?timeout:float ->
+  ?max_paths:int ->
+  oracle:Eywa_core.Oracle.t ->
+  t ->
+  (Eywa_core.Synthesis.t, string) result
+(** Run the full pipeline with this model's alphabet; [timeout] and
+    [max_paths] override the model's defaults (tests and sweeps use
+    small budgets). *)

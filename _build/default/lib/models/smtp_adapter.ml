@@ -1,0 +1,87 @@
+module Smtp = Eywa_smtp
+module Difftest = Eywa_difftest.Difftest
+module Testcase = Eywa_core.Testcase
+module Stategraph = Eywa_stategraph.Stategraph
+
+let state_graph_for (synth : Eywa_core.Synthesis.t) =
+  match
+    List.find_opt
+      (fun (r : Eywa_core.Synthesis.model_result) -> r.compile_error = None)
+      synth.results
+  with
+  | None -> Error "no compiled model to extract a state graph from"
+  | Some r ->
+      let response = Eywa_llm.Gpt.complete_stategraph r.c_source in
+      (match Eywa_llm.Extract.parse_pydict response with
+      | Error m -> Error m
+      | Ok transitions -> Ok (Stategraph.of_list transitions))
+
+let probe impl graph state input =
+  match Smtp.Impls.drive_and_probe impl graph ~state ~input with
+  | Ok reply -> [ ("reply", reply); ("drive", "ok") ]
+  | Error m -> [ ("reply", ""); ("drive", m) ]
+
+let observations_for ~graph (test : Testcase.t) =
+  if test.bad_input || test.error <> None then None
+  else begin
+    let state = Smtp_models.test_state test in
+    let input = Smtp_models.test_input test in
+    if input = "" then None
+    else
+      Some
+        (List.map
+           (fun impl ->
+             { Difftest.impl = impl.Smtp.Impls.name;
+               fields = probe impl graph state input })
+           Smtp.Impls.all)
+  end
+
+let run ~graph tests =
+  let acc = Difftest.create () in
+  List.iter
+    (fun test ->
+      match observations_for ~graph test with
+      | None -> ()
+      | Some obs -> ignore (Difftest.record acc obs))
+    tests;
+  Difftest.report acc
+
+let quirks_triggered ~graph tests =
+  let found = ref [] in
+  let note impl quirk =
+    if not (List.mem (impl, quirk) !found) then found := !found @ [ (impl, quirk) ]
+  in
+  List.iter
+    (fun (test : Testcase.t) ->
+      match observations_for ~graph test with
+      | None -> ()
+      | Some obs ->
+          let disagreements = Difftest.compare_all obs in
+          List.iter
+            (fun (d : Difftest.disagreement) ->
+              match Smtp.Impls.find d.d_impl with
+              | None -> ()
+              | Some impl ->
+                  let state = Smtp_models.test_state test in
+                  let input = Smtp_models.test_input test in
+                  let active = Smtp.Impls.quirks impl in
+                  let reply_with quirks =
+                    match Stategraph.path_to graph ~start:"INITIAL" ~goal:state with
+                    | None -> None
+                    | Some prefix ->
+                        let commands =
+                          List.map Smtp.Machine.command_of_letter (prefix @ [ input ])
+                        in
+                        Some (Smtp.Machine.run_session ~quirks commands)
+                  in
+                  let with_all = reply_with active in
+                  List.iter
+                    (fun q ->
+                      let without =
+                        reply_with (List.filter (fun x -> x <> q) active)
+                      in
+                      if without <> with_all then note impl.Smtp.Impls.name q)
+                    active)
+            disagreements)
+    tests;
+  !found

@@ -1,0 +1,28 @@
+(** From SMTP model tests to differential observations.
+
+    SMTP is stateful: every test is a (state, input) pair, and the
+    implementation must be driven to the state first (§4.2). The driver
+    BFS-searches the state graph — extracted from the generated server
+    code by the second LLM call — for an input sequence, prepends it,
+    runs the session on a fresh server, and observes the reply to the
+    probed input. *)
+
+val state_graph_for :
+  Eywa_core.Synthesis.t -> (Eywa_stategraph.Stategraph.t, string) result
+(** Ask the (simulated) LLM for the state graph of the first compiled
+    model's generated code (Fig. 8), then parse its dict response. *)
+
+val observations_for :
+  graph:Eywa_stategraph.Stategraph.t ->
+  Eywa_core.Testcase.t ->
+  Eywa_difftest.Difftest.observation list option
+
+val run :
+  graph:Eywa_stategraph.Stategraph.t ->
+  Eywa_core.Testcase.t list ->
+  Eywa_difftest.Difftest.report
+
+val quirks_triggered :
+  graph:Eywa_stategraph.Stategraph.t ->
+  Eywa_core.Testcase.t list ->
+  (string * Eywa_smtp.Machine.quirk) list

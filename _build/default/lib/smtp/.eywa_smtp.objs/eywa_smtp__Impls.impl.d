@@ -1,0 +1,1 @@
+lib/smtp/impls.ml: Eywa_stategraph List Machine Printf

@@ -1,0 +1,1 @@
+lib/smtp/impls.mli: Eywa_stategraph Machine

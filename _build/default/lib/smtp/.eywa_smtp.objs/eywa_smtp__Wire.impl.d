@@ -1,0 +1,1 @@
+lib/smtp/wire.ml: List Machine Printf String

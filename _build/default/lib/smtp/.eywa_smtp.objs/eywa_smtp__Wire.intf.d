@@ -1,0 +1,1 @@
+lib/smtp/wire.mli: Machine

@@ -1,0 +1,50 @@
+let uppercase_prefix line n =
+  String.uppercase_ascii (String.sub line 0 (min n (String.length line)))
+
+let has_bracketed_path line colon_at =
+  (* after "MAIL FROM:" / "RCPT TO:", require <...> *)
+  let rest = String.sub line colon_at (String.length line - colon_at) in
+  let rest = String.trim rest in
+  String.length rest >= 2 && rest.[0] = '<' && rest.[String.length rest - 1] = '>'
+
+let parse_command line =
+  let trimmed = String.trim line in
+  if trimmed = "." then Machine.End_data
+  else if String.length trimmed >= 4 && uppercase_prefix trimmed 4 = "HELO" then
+    Machine.Helo
+  else if String.length trimmed >= 4 && uppercase_prefix trimmed 4 = "EHLO" then
+    Machine.Ehlo
+  else if String.length trimmed >= 10 && uppercase_prefix trimmed 10 = "MAIL FROM:"
+  then if has_bracketed_path trimmed 10 then Machine.Mail_from else Machine.Other trimmed
+  else if String.length trimmed >= 8 && uppercase_prefix trimmed 8 = "RCPT TO:" then
+    if has_bracketed_path trimmed 8 then Machine.Rcpt_to else Machine.Other trimmed
+  else if String.uppercase_ascii trimmed = "DATA" then Machine.Data
+  else if String.uppercase_ascii trimmed = "QUIT" then Machine.Quit
+  else Machine.Other trimmed
+
+let format_command = Machine.command_to_wire
+
+let format_reply code =
+  match code with
+  | "220" -> "220 test.example Service ready"
+  | "221" -> "221 Bye"
+  | "250" -> "250 OK"
+  | "354" -> "354 End data with <CR><LF>.<CR><LF>"
+  | "500" -> "500 Syntax error, command unrecognized"
+  | "503" -> "503 Bad sequence of commands"
+  | other -> other
+
+let parse_reply line =
+  if
+    String.length line >= 3
+    && (match (line.[0], line.[1], line.[2]) with
+       | '0' .. '9', '0' .. '9', '0' .. '9' -> true
+       | _ -> false)
+  then Ok (String.sub line 0 3)
+  else Error (Printf.sprintf "malformed reply line %S" line)
+
+let run_wire_session ?quirks lines =
+  lines
+  |> List.map parse_command
+  |> Machine.run_session ?quirks
+  |> List.map format_reply

@@ -1,0 +1,1 @@
+lib/solver/solve.ml: Array Hashtbl List Term

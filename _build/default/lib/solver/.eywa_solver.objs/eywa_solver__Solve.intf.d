@@ -1,0 +1,1 @@
+lib/solver/solve.mli: Hashtbl Term

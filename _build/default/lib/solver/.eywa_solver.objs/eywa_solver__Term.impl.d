@@ -1,0 +1,1 @@
+lib/solver/term.ml: Array Format Hashtbl List

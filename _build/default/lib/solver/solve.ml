@@ -1,0 +1,106 @@
+type assignment = (int, int) Hashtbl.t
+
+type stats = { decisions : int; conflicts : int }
+
+type outcome = Sat of assignment | Unsat | Unknown
+
+exception Budget
+
+(* Variable ordering: smaller domain first, ties broken by occurrence
+   count (more occurrences = more constraining = earlier). *)
+let order_vars constraints =
+  let occ = Hashtbl.create 32 in
+  let bump v =
+    let n = try Hashtbl.find occ v.Term.vid with Not_found -> 0 in
+    Hashtbl.replace occ v.Term.vid (n + 1)
+  in
+  let all = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun v ->
+          bump v;
+          if not (Hashtbl.mem all v.Term.vid) then Hashtbl.add all v.Term.vid v)
+        (Term.vars c))
+    constraints;
+  let vs = Hashtbl.fold (fun _ v acc -> v :: acc) all [] in
+  let key v =
+    (Array.length v.Term.domain, - (try Hashtbl.find occ v.Term.vid with Not_found -> 0))
+  in
+  List.sort (fun a b -> compare (key a) (key b)) vs
+
+let solve_with_stats ?(max_decisions = 2_000_000) ?(rotate = 0) constraints =
+  (* Drop constant-true constraints up front; fail fast on constant false. *)
+  let constraints = List.filter (fun c -> not (Term.is_true c)) constraints in
+  if List.exists Term.is_false constraints then (Unsat, { decisions = 0; conflicts = 0 })
+  else begin
+    let vars = Array.of_list (order_vars constraints) in
+    let model : assignment = Hashtbl.create 32 in
+    let decisions = ref 0 and conflicts = ref 0 in
+    let env vid = Hashtbl.find_opt model vid in
+    (* Constraints sorted so that those over early variables are checked
+       first; we simply re-check all still-undetermined ones. *)
+    let consistent () =
+      List.for_all
+        (fun c -> match Term.peval env c with Some 0 -> false | _ -> true)
+        constraints
+    in
+    let n = Array.length vars in
+    let rec assign i =
+      if i >= n then true
+      else begin
+        let v = vars.(i) in
+        let dom = v.Term.domain in
+        let len = Array.length dom in
+        (* Value-order rotation: different [rotate] inputs bias the
+           search towards different corners of the space, the way
+           Klee's value assignment varies per path (§4.3's observation
+           that similar values are chosen "unless strictly
+           constrained" is about exactly this bias). *)
+        let start = Term.rotate_index ~rotate ~vid:v.Term.vid len in
+        let rec try_values j =
+          if j >= len then begin
+            Hashtbl.remove model v.Term.vid;
+            incr conflicts;
+            false
+          end
+          else begin
+            incr decisions;
+            if !decisions > max_decisions then raise Budget;
+            Hashtbl.replace model v.Term.vid dom.((start + j) mod len);
+            if consistent () && assign (i + 1) then true else try_values (j + 1)
+          end
+        in
+        try_values 0
+      end
+    in
+    let outcome =
+      try if assign 0 then Sat model else Unsat with Budget -> Unknown
+    in
+    (outcome, { decisions = !decisions; conflicts = !conflicts })
+  end
+
+let solve ?max_decisions ?rotate constraints =
+  fst (solve_with_stats ?max_decisions ?rotate constraints)
+
+let is_sat ?max_decisions constraints =
+  match solve ?max_decisions constraints with
+  | Sat _ -> true
+  | Unsat | Unknown -> false
+
+let value m v =
+  match Hashtbl.find_opt m v.Term.vid with
+  | Some x -> x
+  | None -> v.Term.domain.(0)
+
+let check m constraints =
+  let domains = Hashtbl.create 32 in
+  List.iter
+    (fun c -> List.iter (fun v -> Hashtbl.replace domains v.Term.vid v) (Term.vars c))
+    constraints;
+  let env vid =
+    match Hashtbl.find_opt m vid with
+    | Some x -> x
+    | None -> (Hashtbl.find domains vid).Term.domain.(0)
+  in
+  List.for_all (fun c -> Term.eval env c <> 0) constraints

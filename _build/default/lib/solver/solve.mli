@@ -1,0 +1,44 @@
+(** Backtracking search over finite-domain constraint sets.
+
+    The solver assigns variables in most-constrained-first order and
+    prunes with partial evaluation: after each assignment, every
+    constraint is re-evaluated under the partial model and the branch is
+    abandoned as soon as one is determined false. Domains are small by
+    construction (the Eywa pipeline bounds every input type), so this is
+    complete and fast in practice. *)
+
+type assignment = (int, int) Hashtbl.t
+(** Maps variable id to its chosen value. *)
+
+type stats = { decisions : int; conflicts : int }
+
+type outcome =
+  | Sat of assignment
+  | Unsat
+  | Unknown  (** step budget exhausted *)
+
+val solve : ?max_decisions:int -> ?rotate:int -> Term.t list -> outcome
+(** [solve cs] finds one model of the conjunction of [cs].
+    [max_decisions] bounds the search (default [2_000_000]).
+    [rotate] (default 0) rotates each variable's value ordering, so
+    different rotations of the same satisfiable problem tend to return
+    different models — the executor rotates per path to diversify the
+    concrete tests it emits, mirroring Klee's per-path value bias. *)
+
+val solve_with_stats :
+  ?max_decisions:int -> ?rotate:int -> Term.t list -> outcome * stats
+
+val is_sat : ?max_decisions:int -> Term.t list -> bool
+(** [is_sat cs] is [true] iff [solve cs] is [Sat _]. An [Unknown]
+    outcome counts as unsatisfiable for the purposes of path pruning,
+    which keeps exploration sound-for-tests (we never emit a test from
+    an unproven path). *)
+
+val value : assignment -> Term.var -> int
+(** Value of [v] in the model, defaulting to the first domain element
+    for variables the search never needed to constrain. *)
+
+val check : assignment -> Term.t list -> bool
+(** [check m cs] re-evaluates every constraint under [m] (unassigned
+    variables default as in {!value}); used by tests as a soundness
+    oracle. *)

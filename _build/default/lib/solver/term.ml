@@ -1,0 +1,245 @@
+type sort = Sbool | Schar | Sint of int | Senum of string * int
+
+type var = { vid : int; vname : string; sort : sort; domain : int array }
+
+type t =
+  | Const of int
+  | Var of var
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Eq of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Mod of t * t
+  | Ite of t * t * t
+
+let counter = ref 0
+
+let fresh_var ?(name = "v") sort domain =
+  assert (Array.length domain > 0);
+  let vid = !counter in
+  incr counter;
+  { vid; vname = name; sort; domain }
+
+let var_count () = !counter
+
+let reset_ids () = counter := 0
+
+let default_domain = function
+  | Sbool -> [| 0; 1 |]
+  | Schar -> Array.init 256 (fun i -> i)
+  | Senum (_, n) -> Array.init (max n 1) (fun i -> i)
+  | Sint w ->
+      let w = min w 16 in
+      Array.init (1 lsl w) (fun i -> i)
+
+let tt = Const 1
+let ff = Const 0
+let const n = Const n
+let of_bool b = if b then tt else ff
+let var v = Var v
+
+(* Truthiness follows C: any non-zero value is true. Smart constructors
+   normalise boolean results to 0/1. *)
+
+let is_true = function Const n -> n <> 0 | _ -> false
+let is_false = function Const 0 -> true | _ -> false
+
+let not_ = function
+  | Const n -> of_bool (n = 0)
+  | Not (Eq _ as e) -> e
+  | Not (Lt _ as e) -> e
+  | Not (Le _ as e) -> e
+  | Not (And _ as e) -> e
+  | Not (Or _ as e) -> e
+  | Not (Not _ as e) -> e
+  | t -> Not t
+
+let and_ a b =
+  match (a, b) with
+  | Const 0, _ | _, Const 0 -> ff
+  | Const _, other | other, Const _ -> (
+      (* the surviving Const is non-zero *)
+      match other with Const n -> of_bool (n <> 0) | _ -> other)
+  | _ -> And (a, b)
+
+let or_ a b =
+  match (a, b) with
+  | Const n, other when n <> 0 -> ignore other; tt
+  | other, Const n when n <> 0 -> ignore other; tt
+  | Const 0, other | other, Const 0 -> other
+  | _ -> Or (a, b)
+
+let eq a b =
+  match (a, b) with
+  | Const x, Const y -> of_bool (x = y)
+  | Var u, Var v when u.vid = v.vid -> tt
+  | _ -> Eq (a, b)
+
+let lt a b =
+  match (a, b) with
+  | Const x, Const y -> of_bool (x < y)
+  | Var u, Var v when u.vid = v.vid -> ff
+  | _ -> Lt (a, b)
+
+let le a b =
+  match (a, b) with
+  | Const x, Const y -> of_bool (x <= y)
+  | Var u, Var v when u.vid = v.vid -> tt
+  | _ -> Le (a, b)
+
+let neq a b = not_ (eq a b)
+let gt a b = lt b a
+let ge a b = le b a
+
+let add a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x + y)
+  | Const 0, t | t, Const 0 -> t
+  | _ -> Add (a, b)
+
+let sub a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x - y)
+  | t, Const 0 -> t
+  | _ -> Sub (a, b)
+
+let mul a b =
+  match (a, b) with
+  | Const x, Const y -> Const (x * y)
+  | Const 0, _ | _, Const 0 -> Const 0
+  | Const 1, t | t, Const 1 -> t
+  | _ -> Mul (a, b)
+
+let safe_div x y = if y = 0 then 0 else x / y
+let safe_mod x y = if y = 0 then 0 else x mod y
+
+let div a b =
+  match (a, b) with
+  | Const x, Const y -> Const (safe_div x y)
+  | t, Const 1 -> t
+  | _ -> Div (a, b)
+
+let mod_ a b =
+  match (a, b) with
+  | Const x, Const y -> Const (safe_mod x y)
+  | _, Const 1 -> Const 0
+  | _ -> Mod (a, b)
+
+let ite c a b =
+  match c with
+  | Const n -> if n <> 0 then a else b
+  | _ -> if a = b then a else Ite (c, a, b)
+
+let conj ts = List.fold_left and_ tt ts
+
+let vars t =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Var v ->
+        if not (Hashtbl.mem seen v.vid) then begin
+          Hashtbl.add seen v.vid ();
+          acc := v :: !acc
+        end
+    | Not a -> go a
+    | And (a, b) | Or (a, b) | Eq (a, b) | Lt (a, b) | Le (a, b)
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Mod (a, b) ->
+        go a; go b
+    | Ite (c, a, b) -> go c; go a; go b
+  in
+  go t;
+  List.rev !acc
+
+let rec eval env = function
+  | Const n -> n
+  | Var v -> env v.vid
+  | Not a -> if eval env a = 0 then 1 else 0
+  | And (a, b) -> if eval env a <> 0 && eval env b <> 0 then 1 else 0
+  | Or (a, b) -> if eval env a <> 0 || eval env b <> 0 then 1 else 0
+  | Eq (a, b) -> if eval env a = eval env b then 1 else 0
+  | Lt (a, b) -> if eval env a < eval env b then 1 else 0
+  | Le (a, b) -> if eval env a <= eval env b then 1 else 0
+  | Add (a, b) -> eval env a + eval env b
+  | Sub (a, b) -> eval env a - eval env b
+  | Mul (a, b) -> eval env a * eval env b
+  | Div (a, b) -> safe_div (eval env a) (eval env b)
+  | Mod (a, b) -> safe_mod (eval env a) (eval env b)
+  | Ite (c, a, b) -> if eval env c <> 0 then eval env a else eval env b
+
+let rec peval env = function
+  | Const n -> Some n
+  | Var v -> env v.vid
+  | Not a -> (
+      match peval env a with
+      | Some n -> Some (if n = 0 then 1 else 0)
+      | None -> None)
+  | And (a, b) -> (
+      match (peval env a, peval env b) with
+      | Some 0, _ | _, Some 0 -> Some 0
+      | Some x, Some y -> Some (if x <> 0 && y <> 0 then 1 else 0)
+      | _ -> None)
+  | Or (a, b) -> (
+      match (peval env a, peval env b) with
+      | Some x, _ when x <> 0 -> Some 1
+      | _, Some y when y <> 0 -> Some 1
+      | Some 0, Some 0 -> Some 0
+      | _ -> None)
+  | Eq (a, b) -> lift2 env (fun x y -> if x = y then 1 else 0) a b
+  | Lt (a, b) -> lift2 env (fun x y -> if x < y then 1 else 0) a b
+  | Le (a, b) -> lift2 env (fun x y -> if x <= y then 1 else 0) a b
+  | Add (a, b) -> lift2 env ( + ) a b
+  | Sub (a, b) -> lift2 env ( - ) a b
+  | Mul (a, b) -> lift2 env ( * ) a b
+  | Div (a, b) -> lift2 env safe_div a b
+  | Mod (a, b) -> lift2 env safe_mod a b
+  | Ite (c, a, b) -> (
+      match peval env c with
+      | Some n -> peval env (if n <> 0 then a else b)
+      | None -> None)
+
+and lift2 env f a b =
+  match (peval env a, peval env b) with
+  | Some x, Some y -> Some (f x y)
+  | _ -> None
+
+(* Deterministic pseudo-random index for value-order rotation: a plain
+   linear formula degenerates on two-element domains (booleans with odd
+   ids would never flip), so mix the inputs properly. *)
+let rotate_index ~rotate ~vid len =
+  if rotate = 0 || len <= 1 then 0
+  else begin
+    let h = ((vid + 1) * 0x9E3779B1) lxor (rotate * 0x85EBCA77) in
+    let h = h lxor (h lsr 13) in
+    (h land max_int) mod len
+  end
+
+let pp_sort ppf = function
+  | Sbool -> Format.fprintf ppf "bool"
+  | Schar -> Format.fprintf ppf "char"
+  | Sint w -> Format.fprintf ppf "u%d" w
+  | Senum (n, _) -> Format.fprintf ppf "enum:%s" n
+
+let rec pp ppf = function
+  | Const n -> Format.fprintf ppf "%d" n
+  | Var v -> Format.fprintf ppf "%s#%d" v.vname v.vid
+  | Not a -> Format.fprintf ppf "!(%a)" pp a
+  | And (a, b) -> Format.fprintf ppf "(%a && %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp a pp b
+  | Eq (a, b) -> Format.fprintf ppf "(%a == %a)" pp a pp b
+  | Lt (a, b) -> Format.fprintf ppf "(%a < %a)" pp a pp b
+  | Le (a, b) -> Format.fprintf ppf "(%a <= %a)" pp a pp b
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp a pp b
+  | Mod (a, b) -> Format.fprintf ppf "(%a %% %a)" pp a pp b
+  | Ite (c, a, b) -> Format.fprintf ppf "(%a ? %a : %a)" pp c pp a pp b
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,107 @@
+(** Finite-domain constraint terms.
+
+    All values are integers: booleans are [0]/[1], characters are their
+    codes, and enum members are their declared index. Every variable
+    carries a finite domain of candidate values, which makes the theory
+    decidable by search (see {!Solve}). This is the constraint language
+    the symbolic executor compiles path conditions into. *)
+
+(** The sort of a variable, kept for printing and test reconstruction. *)
+type sort =
+  | Sbool
+  | Schar
+  | Sint of int  (** unsigned, width in bits *)
+  | Senum of string * int  (** enum name and number of members *)
+
+type var = private {
+  vid : int;  (** unique id, dense from 0 *)
+  vname : string;
+  sort : sort;
+  domain : int array;  (** allowed values, non-empty, strictly increasing *)
+}
+
+(** A term. Build terms with the smart constructors below, which fold
+    constants and apply algebraic simplifications eagerly. *)
+type t =
+  | Const of int
+  | Var of var
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Eq of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t  (** total: division by zero yields 0 *)
+  | Mod of t * t  (** total: modulo zero yields 0 *)
+  | Ite of t * t * t
+
+(** Variable creation. Ids are drawn from a global counter so that
+    assignments can be stored in flat arrays. *)
+
+val fresh_var : ?name:string -> sort -> int array -> var
+val var_count : unit -> int
+
+val reset_ids : unit -> unit
+(** Restart the id counter. The synthesis pipeline resets it at the
+    start of every model run so that identical models produce identical
+    atoms — and therefore identical value rotations and identical test
+    samples. Never reset in the middle of building or solving a
+    constraint system. *)
+
+(** Default domains per sort: [0;1] for booleans, the full enum index
+    range for enums, [0 .. 2^width-1] for ints (width capped at 16 to
+    keep domains finite in practice). *)
+val default_domain : sort -> int array
+
+(** Smart constructors. *)
+
+val tt : t
+val ff : t
+val const : int -> t
+val of_bool : bool -> t
+val var : var -> t
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val eq : t -> t -> t
+val neq : t -> t -> t
+val lt : t -> t -> t
+val le : t -> t -> t
+val gt : t -> t -> t
+val ge : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val mod_ : t -> t -> t
+val ite : t -> t -> t -> t
+val conj : t list -> t
+
+(** [vars t] lists the distinct variables of [t] in first-occurrence
+    order. *)
+val vars : t -> var list
+
+(** [eval env t] fully evaluates [t]; [env vid] must return the value of
+    every variable that occurs. Division-free, so total. *)
+val eval : (int -> int) -> t -> int
+
+(** [peval env t] partially evaluates [t] under a partial assignment
+    ([env vid = None] when unassigned). Short-circuits [And]/[Or]/[Ite]
+    so a determined result can be reached before all variables are
+    assigned. Returns [None] if the value is not yet determined. *)
+val peval : (int -> int option) -> t -> int option
+
+val rotate_index : rotate:int -> vid:int -> int -> int
+(** Deterministic pseudo-random start index into a domain of the given
+    size; [rotate = 0] always yields 0. Shared by the solver's
+    value-order rotation and symbolic-value concretization so the two
+    stay consistent within one sample. *)
+
+val is_true : t -> bool
+val is_false : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_sort : Format.formatter -> sort -> unit

@@ -1,0 +1,1 @@
+lib/stategraph/stategraph.ml: Format Hashtbl List Queue

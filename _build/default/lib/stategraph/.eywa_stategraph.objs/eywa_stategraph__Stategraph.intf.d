@@ -1,0 +1,1 @@
+lib/stategraph/stategraph.mli: Format

@@ -1,0 +1,78 @@
+type t = { edges : ((string * string) * string) list }
+
+let empty = { edges = [] }
+
+let add g ~state ~input ~next =
+  if List.mem_assoc (state, input) g.edges then g
+  else { edges = g.edges @ [ ((state, input), next) ] }
+
+let of_list pairs =
+  List.fold_left
+    (fun g ((state, input), next) -> add g ~state ~input ~next)
+    empty pairs
+
+let transitions g = g.edges
+
+let states g =
+  let seen = ref [] in
+  let push s = if not (List.mem s !seen) then seen := !seen @ [ s ] in
+  List.iter
+    (fun ((s, _), s') ->
+      push s;
+      push s')
+    g.edges;
+  !seen
+
+let step g ~state ~input = List.assoc_opt (state, input) g.edges
+
+let path_to g ~start ~goal =
+  if start = goal then Some []
+  else begin
+    let visited = Hashtbl.create 16 in
+    Hashtbl.add visited start ();
+    let queue = Queue.create () in
+    Queue.add (start, []) queue;
+    let rec bfs () =
+      if Queue.is_empty queue then None
+      else begin
+        let state, rev_path = Queue.pop queue in
+        let out =
+          List.filter (fun ((s, _), _) -> s = state) g.edges
+        in
+        let rec expand = function
+          | [] -> bfs ()
+          | ((_, input), next) :: rest ->
+              if next = goal then Some (List.rev (input :: rev_path))
+              else if Hashtbl.mem visited next then expand rest
+              else begin
+                Hashtbl.add visited next ();
+                Queue.add (next, input :: rev_path) queue;
+                expand rest
+              end
+        in
+        expand out
+      end
+    in
+    bfs ()
+  end
+
+let reachable g ~start =
+  let visited = ref [ start ] in
+  let queue = Queue.create () in
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let state = Queue.pop queue in
+    List.iter
+      (fun ((s, _), next) ->
+        if s = state && not (List.mem next !visited) then begin
+          visited := !visited @ [ next ];
+          Queue.add next queue
+        end)
+      g.edges
+  done;
+  !visited
+
+let pp ppf g =
+  List.iter
+    (fun ((s, i), s') -> Format.fprintf ppf "(%s, %s) -> %s@." s i s')
+    g.edges

@@ -1,0 +1,35 @@
+(** Protocol state graphs and input-sequence search (§4.2).
+
+    For stateful protocols, each Eywa test is a (state, input) pair; to
+    run it, the implementation must first be driven to that state. The
+    paper obtains a [(state, input) -> state] dictionary from a second
+    LLM call (Fig. 8) and BFS-searches it for a driving input sequence.
+    This module is the graph half: states and inputs are strings, edges
+    are labelled transitions. *)
+
+type t
+
+val empty : t
+
+val add : t -> state:string -> input:string -> next:string -> t
+(** Add one transition; duplicate (state, input) keys keep the first
+    binding, matching how a Python dict literal would resolve. *)
+
+val of_list : ((string * string) * string) list -> t
+
+val transitions : t -> ((string * string) * string) list
+(** In insertion order. *)
+
+val states : t -> string list
+(** Every state mentioned, sources before targets, each once. *)
+
+val step : t -> state:string -> input:string -> string option
+
+val path_to : t -> start:string -> goal:string -> string list option
+(** BFS: the shortest input sequence driving [start] to [goal];
+    [Some []] when [start = goal], [None] when unreachable. *)
+
+val reachable : t -> start:string -> string list
+(** States reachable from [start] (including it), in BFS order. *)
+
+val pp : Format.formatter -> t -> unit

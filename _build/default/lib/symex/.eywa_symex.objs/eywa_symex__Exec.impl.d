@@ -1,0 +1,1 @@
+lib/symex/exec.ml: Array Char Eywa_minic Eywa_solver Format List Printf Sv Unix

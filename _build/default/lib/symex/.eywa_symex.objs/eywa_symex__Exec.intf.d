@@ -1,0 +1,1 @@
+lib/symex/exec.mli: Eywa_minic Eywa_solver Sv

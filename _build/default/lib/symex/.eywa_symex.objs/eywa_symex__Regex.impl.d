@@ -1,0 +1,1 @@
+lib/symex/regex.ml: Array Char Eywa_solver Format List Printf String

@@ -1,0 +1,1 @@
+lib/symex/regex.mli: Eywa_solver Format

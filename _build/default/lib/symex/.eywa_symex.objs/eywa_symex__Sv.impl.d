@@ -1,0 +1,1 @@
+lib/symex/sv.ml: Array Bytes Char Eywa_minic Eywa_solver Format Hashtbl List Printf String

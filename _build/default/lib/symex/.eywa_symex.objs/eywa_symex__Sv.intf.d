@@ -1,0 +1,1 @@
+lib/symex/sv.mli: Eywa_minic Eywa_solver Format

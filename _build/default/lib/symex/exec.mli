@@ -1,0 +1,56 @@
+(** Symbolic execution of MiniC programs — the Klee substitute.
+
+    Explores the program path-by-path in depth-first order. Every
+    branch on a symbolic condition forks; both sides are kept when the
+    solver proves them feasible under the current path condition.
+    String builtins fork the way Klee's uclibc models effectively do
+    ([strlen] forks per possible length, [strcmp] per distinguishing
+    position), which is what produces the paper's "same length"
+    corner-case tests (§2.2).
+
+    Each completed path is solved into a concrete model, yielding one
+    test case. Paths that crash (out-of-bounds, division by zero,
+    exhausted fuel) are reported too, with [error] set — crashes found
+    by the model are test cases in their own right. *)
+
+module Term = Eywa_solver.Term
+module Solve = Eywa_solver.Solve
+
+type config = {
+  max_paths : int;  (** stop after this many completed paths *)
+  max_steps : int;  (** per-path statement budget *)
+  timeout : float;  (** wall-clock seconds for the whole exploration *)
+  max_solver_decisions : int;
+  string_bound : int;  (** buffer size for locally declared strings *)
+}
+
+val default_config : config
+
+type path = {
+  model : Solve.assignment;
+  pc : Term.t list;  (** path condition, most recent first *)
+  ret : Sv.t;
+  error : string option;
+}
+
+type stats = {
+  paths_completed : int;
+  paths_pruned : int;  (** infeasible or unsolvable branches *)
+  solver_calls : int;
+  timed_out : bool;
+}
+
+val run :
+  ?config:config ->
+  ?natives:(string * (Sv.t list -> Sv.t)) list ->
+  Eywa_minic.Ast.program ->
+  entry:string ->
+  args:Sv.t list ->
+  assumes:Term.t list ->
+  path list * stats
+(** Execute [entry] on the given (possibly symbolic) arguments, with
+    [assumes] conjoined to the initial path condition (the
+    [klee_assume] channel used by regex validity modules). [natives]
+    supplies pure host-implemented functions — notably the compiled
+    regex guards of [RegexModule]s, which return a boolean term built
+    by {!Regex.compile_term} instead of forking. *)

@@ -1,0 +1,44 @@
+(** Symbolic MiniC values: the shapes of {!Eywa_minic.Value} with
+    constraint terms at the scalar leaves.
+
+    Strings are buffers of char terms whose final cell is pinned to NUL,
+    which bounds every string operation — mirroring how the paper's
+    harness sizes Klee's symbolic buffers from the user's
+    [eywa.String(maxsize=n)] hints. *)
+
+module Term = Eywa_solver.Term
+
+type t =
+  | Sunit
+  | Sscalar of Eywa_minic.Ast.ty * Term.t
+  | Sstring of Term.t array  (** cell values; last cell is always 0 *)
+  | Sstruct of string * (string * t) list
+  | Sarray of t array
+
+val of_value : Eywa_minic.Value.t -> t
+(** Embed a concrete value (all leaves become constants). *)
+
+val scalar_term : t -> Term.t
+(** @raise Invalid_argument if the value is not a scalar. *)
+
+val concrete_string : ?bound:int -> string -> t
+(** Constant buffer with terminating NUL; [bound] pads the buffer. *)
+
+val symbolic_string : ?name:string -> alphabet:int array -> int -> t
+(** [symbolic_string ~alphabet n] is a buffer of [n] fresh char atoms
+    plus the pinned NUL cell. [alphabet] is the char-code domain each
+    atom may take (NUL must be included for shorter strings to exist). *)
+
+val fresh_scalar : ?name:string -> Eywa_minic.Ast.ty -> domain:int array -> t
+
+val concretize :
+  ?rotate:int -> Eywa_solver.Solve.assignment -> t -> Eywa_minic.Value.t
+(** Read the value back under a solver model; atoms the model leaves
+    unassigned default to a domain element picked by [rotate]
+    (0 = first element), so re-sampling with different rotations varies
+    the unconstrained inputs. *)
+
+val atoms : t -> Term.var list
+(** All variables appearing in the value, in deterministic order. *)
+
+val pp : Format.formatter -> t -> unit

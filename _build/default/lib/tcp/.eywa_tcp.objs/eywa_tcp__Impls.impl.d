@@ -1,0 +1,1 @@
+lib/tcp/impls.ml: Eywa_stategraph List Machine Printf

@@ -1,0 +1,1 @@
+lib/tcp/impls.mli: Eywa_stategraph Machine

@@ -1,0 +1,1 @@
+lib/tcp/machine.ml: List

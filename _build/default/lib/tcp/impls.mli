@@ -1,0 +1,28 @@
+(** TCP stack variants for the §6 extension experiment. The bug catalog
+    is illustrative (this protocol is beyond the paper's evaluation):
+    one stack ACKs data before the handshake completes, another never
+    answers RST to unacceptable segments. *)
+
+type bug = {
+  quirk : Machine.quirk;
+  description : string;
+  bug_type : string;
+}
+
+type t = { name : string; bugs : bug list }
+
+val all : t list
+val find : string -> t option
+val quirks : t -> Machine.quirk list
+
+val handle : t -> Machine.state -> Machine.segment -> string * Machine.state
+
+val drive_and_probe :
+  t ->
+  Eywa_stategraph.Stategraph.t ->
+  state:string ->
+  input:string ->
+  (string, string) result
+(** BFS-drive a fresh connection (from LISTEN) to [state], then probe. *)
+
+val bug_catalog : (string * bug) list

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_bgp Test_core Test_dns Test_edge Test_infra Test_llm Test_minic Test_models Test_report Test_server Test_smtp Test_smtp_wire Test_solver Test_symex Test_tcp Test_wire

@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest Aspath Confed Eywa_bgp Impls Int32 List Network Policy Prefix QCheck2 QCheck_alcotest Quirks Reflect Result Route

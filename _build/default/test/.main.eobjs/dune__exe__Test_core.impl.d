@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Emodule Etype Eywa_core Eywa_minic Eywa_symex Graph Harness List Oracle Prompt Result String Synthesis Testcase

@@ -1,0 +1,1 @@
+test/test_dns.ml: Alcotest Eywa_dns Impls List Lookup Message Name Printf QCheck2 QCheck_alcotest Result Rr Zone Zonefile

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Char Emodule Etype Eywa_core Eywa_minic Eywa_models Eywa_solver Eywa_symex Graph List Oracle Printf String Synthesis Testcase

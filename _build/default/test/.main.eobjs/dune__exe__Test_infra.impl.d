@@ -1,0 +1,1 @@
+test/test_infra.ml: Alcotest Eywa_difftest Eywa_stategraph List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_llm.ml: Alcotest Eywa_core Eywa_llm Eywa_minic Eywa_smtp Eywa_stategraph List Printf Result String

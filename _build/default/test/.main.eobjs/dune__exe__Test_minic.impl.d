@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Eywa_minic List Printf QCheck2 QCheck_alcotest Result

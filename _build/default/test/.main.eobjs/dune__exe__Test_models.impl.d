@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Eywa_bgp Eywa_core Eywa_difftest Eywa_dns Eywa_llm Eywa_models Eywa_smtp Eywa_stategraph Lazy List Result

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Eywa_difftest Eywa_dns Eywa_llm Eywa_models String

@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Eywa_dns Fun List Lookup Message Name Rr Server Zone

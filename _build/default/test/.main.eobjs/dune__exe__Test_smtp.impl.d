@@ -1,0 +1,1 @@
+test/test_smtp.ml: Alcotest Eywa_smtp Eywa_stategraph Impls List Machine QCheck2 QCheck_alcotest Result

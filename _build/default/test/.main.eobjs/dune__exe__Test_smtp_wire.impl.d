@@ -1,0 +1,1 @@
+test/test_smtp_wire.ml: Alcotest Eywa_smtp List Machine QCheck2 QCheck_alcotest Result Wire

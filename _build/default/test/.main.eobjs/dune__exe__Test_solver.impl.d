@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Eywa_solver List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_symex.ml: Alcotest Array Char Eywa_minic Eywa_solver Eywa_symex Hashtbl List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Eywa_llm Eywa_models Eywa_stategraph Eywa_tcp Impls List Machine QCheck2 QCheck_alcotest

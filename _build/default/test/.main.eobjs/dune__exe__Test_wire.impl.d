@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Buffer Char Eywa_bgp Eywa_core Eywa_dns Eywa_minic Filename Int32 List QCheck2 QCheck_alcotest Result String Sys

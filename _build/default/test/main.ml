@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "eywa"
+    [
+      ("solver", Test_solver.suite);
+      ("minic", Test_minic.suite);
+      ("symex", Test_symex.suite);
+      ("core", Test_core.suite);
+      ("llm", Test_llm.suite);
+      ("dns", Test_dns.suite);
+      ("bgp", Test_bgp.suite);
+      ("smtp", Test_smtp.suite);
+      ("infra", Test_infra.suite);
+      ("models", Test_models.suite);
+      ("tcp", Test_tcp.suite);
+      ("wire", Test_wire.suite);
+      ("smtp-wire", Test_smtp_wire.suite);
+      ("server", Test_server.suite);
+      ("edge", Test_edge.suite);
+      ("report", Test_report.suite);
+    ]

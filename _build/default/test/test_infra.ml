@@ -1,0 +1,159 @@
+(* State graphs and the differential-testing harness. *)
+
+module Stategraph = Eywa_stategraph.Stategraph
+module Difftest = Eywa_difftest.Difftest
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ----- state graphs ----- *)
+
+let linear =
+  Stategraph.of_list
+    [ (("A", "x"), "B"); (("B", "y"), "C"); (("C", "z"), "D") ]
+
+let branching =
+  Stategraph.of_list
+    [
+      (("S", "a"), "T"); (("S", "b"), "U"); (("T", "c"), "V"); (("U", "d"), "V");
+      (("V", "e"), "S");
+    ]
+
+let test_graph_step () =
+  check "edge" true (Stategraph.step linear ~state:"A" ~input:"x" = Some "B");
+  check "missing" true (Stategraph.step linear ~state:"A" ~input:"y" = None)
+
+let test_graph_states () =
+  check_int "four states" 4 (List.length (Stategraph.states linear))
+
+let test_graph_bfs_shortest () =
+  check "trivial" true (Stategraph.path_to linear ~start:"A" ~goal:"A" = Some []);
+  check "one hop" true (Stategraph.path_to linear ~start:"A" ~goal:"B" = Some [ "x" ]);
+  check "full chain" true
+    (Stategraph.path_to linear ~start:"A" ~goal:"D" = Some [ "x"; "y"; "z" ]);
+  check "unreachable" true (Stategraph.path_to linear ~start:"D" ~goal:"A" = None)
+
+let test_graph_bfs_is_shortest () =
+  let g =
+    Stategraph.of_list
+      [
+        (("A", "long1"), "M"); (("M", "long2"), "Z"); (("A", "short"), "Z");
+      ]
+  in
+  check "shortest wins" true (Stategraph.path_to g ~start:"A" ~goal:"Z" = Some [ "short" ])
+
+let test_graph_cycles_terminate () =
+  check "cycle handled" true
+    (Stategraph.path_to branching ~start:"S" ~goal:"V" <> None);
+  check_int "reachable set" 4 (List.length (Stategraph.reachable branching ~start:"S"))
+
+let test_graph_duplicate_keys () =
+  let g = Stategraph.of_list [ (("A", "x"), "B"); (("A", "x"), "C") ] in
+  check "first binding wins" true (Stategraph.step g ~state:"A" ~input:"x" = Some "B")
+
+(* ----- difftest ----- *)
+
+let obs impl fields = { Difftest.impl; fields }
+
+let test_majority () =
+  check "plain majority" true
+    (Difftest.field_majority [ ("a", "x"); ("b", "x"); ("c", "y") ] = "x");
+  check "tie breaks to smaller" true
+    (Difftest.field_majority [ ("a", "x"); ("b", "y") ] = "x")
+
+let test_compare_all () =
+  let observations =
+    [
+      obs "a" [ ("rcode", "NOERROR"); ("aa", "true") ];
+      obs "b" [ ("rcode", "NOERROR"); ("aa", "true") ];
+      obs "c" [ ("rcode", "NXDOMAIN"); ("aa", "true") ];
+    ]
+  in
+  match Difftest.compare_all observations with
+  | [ d ] ->
+      check "dissenter named" true (d.Difftest.d_impl = "c");
+      check "field named" true (d.Difftest.d_field = "rcode");
+      check "got" true (d.Difftest.d_got = "NXDOMAIN");
+      check "majority" true (d.Difftest.d_majority = "NOERROR")
+  | ds -> Alcotest.failf "expected one disagreement, got %d" (List.length ds)
+
+let test_compare_all_agreement () =
+  let observations = [ obs "a" [ ("f", "1") ]; obs "b" [ ("f", "1") ] ] in
+  check "no disagreements" true (Difftest.compare_all observations = [])
+
+let test_compare_single_observation () =
+  check "single observation vacuous" true
+    (Difftest.compare_all [ obs "a" [ ("f", "1") ] ] = [])
+
+let test_accum_and_report () =
+  let acc = Difftest.create () in
+  (* same root cause twice, plus one clean test *)
+  let bad () =
+    [ obs "a" [ ("f", "1") ]; obs "b" [ ("f", "1") ]; obs "c" [ ("f", "2") ] ]
+  in
+  ignore (Difftest.record acc (bad ()));
+  ignore (Difftest.record acc (bad ()));
+  ignore
+    (Difftest.record acc [ obs "a" [ ("f", "1") ]; obs "b" [ ("f", "1") ] ]);
+  let report = Difftest.report acc in
+  check_int "three tests" 3 report.Difftest.total_tests;
+  check_int "two disagreeing" 2 report.Difftest.disagreeing_tests;
+  check_int "one unique tuple" 1 (List.length report.Difftest.tuples);
+  (match report.Difftest.tuples with
+  | [ (_, n) ] -> check_int "seen twice" 2 n
+  | _ -> Alcotest.fail "tuple counts wrong");
+  check "impl list" true (Difftest.impls_in_report report = [ "c" ]);
+  check_int "tuples for c" 1 (List.length (Difftest.tuples_for report "c"))
+
+let test_report_ordering () =
+  let acc = Difftest.create () in
+  let mk impl v = obs impl [ ("f", v) ] in
+  (* tuple (c,2) appears twice, (c,3) once *)
+  ignore (Difftest.record acc [ mk "a" "1"; mk "b" "1"; mk "c" "2" ]);
+  ignore (Difftest.record acc [ mk "a" "1"; mk "b" "1"; mk "c" "2" ]);
+  ignore (Difftest.record acc [ mk "a" "1"; mk "b" "1"; mk "c" "3" ]);
+  let report = Difftest.report acc in
+  match report.Difftest.tuples with
+  | (first, n1) :: (_, n2) :: _ ->
+      check "most frequent first" true (n1 >= n2);
+      check "frequent tuple is the x2" true (first.Difftest.d_got = "2")
+  | _ -> Alcotest.fail "expected two tuples"
+
+let prop_majority_is_a_value =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"majority is one of the observed values"
+       QCheck2.Gen.(list_size (int_range 1 6) (oneofl [ "x"; "y"; "z" ]))
+       (fun values ->
+         let pairs = List.mapi (fun i v -> (Printf.sprintf "i%d" i, v)) values in
+         List.mem (Difftest.field_majority pairs) values))
+
+let prop_dissenters_disagree =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200
+       ~name:"every reported dissenter's value differs from the majority"
+       QCheck2.Gen.(list_size (int_range 2 6) (oneofl [ "x"; "y"; "z" ]))
+       (fun values ->
+         let observations =
+           List.mapi (fun i v -> obs (Printf.sprintf "i%d" i) [ ("f", v) ]) values
+         in
+         List.for_all
+           (fun d -> d.Difftest.d_got <> d.Difftest.d_majority)
+           (Difftest.compare_all observations)))
+
+let suite =
+  [
+    Alcotest.test_case "stategraph: step" `Quick test_graph_step;
+    Alcotest.test_case "stategraph: states" `Quick test_graph_states;
+    Alcotest.test_case "stategraph: BFS paths" `Quick test_graph_bfs_shortest;
+    Alcotest.test_case "stategraph: BFS is shortest" `Quick test_graph_bfs_is_shortest;
+    Alcotest.test_case "stategraph: cycles" `Quick test_graph_cycles_terminate;
+    Alcotest.test_case "stategraph: duplicate keys" `Quick test_graph_duplicate_keys;
+    Alcotest.test_case "difftest: majority" `Quick test_majority;
+    Alcotest.test_case "difftest: disagreements" `Quick test_compare_all;
+    Alcotest.test_case "difftest: agreement" `Quick test_compare_all_agreement;
+    Alcotest.test_case "difftest: single observation" `Quick test_compare_single_observation;
+    Alcotest.test_case "difftest: accumulate and report" `Quick test_accum_and_report;
+    Alcotest.test_case "difftest: report ordering" `Quick test_report_ordering;
+    prop_majority_is_a_value;
+    prop_dissenters_disagree;
+  ]

@@ -1,0 +1,303 @@
+module Gpt = Eywa_llm.Gpt
+module Mutate = Eywa_llm.Mutate
+module Rng = Eywa_llm.Rng
+module Extract = Eywa_llm.Extract
+module Prompt_parse = Eywa_llm.Prompt_parse
+module Ast = Eywa_minic.Ast
+module Parser = Eywa_minic.Parser
+module Stategraph = Eywa_stategraph.Stategraph
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* ----- rng ----- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  check "same seed, same stream" true
+    (List.init 20 (fun _ -> Rng.next a) = List.init 20 (fun _ -> Rng.next b));
+  let c = Rng.create 8 in
+  check "different seed, different stream" false
+    (List.init 20 (fun _ -> Rng.next (Rng.create 7)) = [] @ List.init 20 (fun _ -> Rng.next c))
+
+let test_rng_string_seed () =
+  let a = Rng.of_string 1 "dname_applies" and b = Rng.of_string 1 "cname_applies" in
+  check "prompt-dependent streams differ" false (Rng.next a = Rng.next b && Rng.next a = Rng.next b)
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 200 do
+    let v = Rng.int r 7 in
+    check "in range" true (v >= 0 && v < 7);
+    let f = Rng.float r in
+    check "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_pick () =
+  let r = Rng.create 4 in
+  check "picks a member" true (List.mem (Rng.pick r [ 1; 2; 3 ]) [ 1; 2; 3 ]);
+  check "empty pick raises" true
+    (match Rng.pick r [] with exception Invalid_argument _ -> true | _ -> false)
+
+(* ----- prompt parsing ----- *)
+
+let sample_prompt =
+  "#include <stdint.h>\n\n\
+   typedef enum { A, B } Kind;\n\
+   typedef struct { Kind k; char* s; } Box;\n\n\
+   // helper\n\
+   bool helper(Box b);\n\n\
+   // the target\n\
+   bool target_fn(char* q, Box b) {\n\
+  \  // implement me\n"
+
+let test_prompt_parse () =
+  match Prompt_parse.parse sample_prompt with
+  | Error m -> Alcotest.fail m
+  | Ok task ->
+      Alcotest.(check string) "target name" "target_fn" task.target.Ast.fname;
+      check_int "one enum" 1 (List.length task.enums);
+      check_int "one struct" 1 (List.length task.structs);
+      check_int "one helper" 1 (List.length task.helpers);
+      check "target params recovered" true
+        (task.target.Ast.params
+        = [ (Ast.Tstring, "q"); (Ast.Tstruct "Box", "b") ])
+
+let test_prompt_parse_garbage () =
+  check "garbage rejected" true (Result.is_error (Prompt_parse.parse "??? not C"))
+
+(* ----- mutations ----- *)
+
+let sample_func () =
+  let src =
+    "typedef enum { LOW, HIGH } Level;\n\
+     bool f(int a, int b, Level l) {\n\
+    \  if (a > b && l == HIGH) { return true; }\n\
+    \  if (a + 3 < b) { return false; }\n\
+    \  return b >= 2;\n\
+     }"
+  in
+  match Parser.parse_result src with
+  | Ok p -> (List.hd p.Ast.funcs, p.Ast.enums)
+  | Error m -> Alcotest.failf "parse: %s" m
+
+let test_mutation_sites () =
+  let f, enums = sample_func () in
+  let sites = Mutate.candidate_sites ~enums f in
+  check "has relax-compare sites" true
+    (List.exists (fun (_, k) -> k = Mutate.Relax_compare) sites);
+  check "has off-by-one sites" true
+    (List.exists (fun (_, k) -> k = Mutate.Off_by_one) sites);
+  check "has enum sites" true
+    (List.exists (fun (_, k) -> k = Mutate.Wrong_enum) sites);
+  check "has and/or sites" true
+    (List.exists (fun (_, k) -> k = Mutate.Swap_and_or) sites)
+
+let test_mutation_zero_temperature_is_identity () =
+  let f, enums = sample_func () in
+  let rng = Rng.create 1 in
+  let f', applied = Mutate.mutate ~enums ~rng ~temperature:0.0 f in
+  check "no mutations at tau=0" true (applied = []);
+  check "function unchanged" true (f = f')
+
+let test_mutation_apply_changes_one_site () =
+  let f, enums = sample_func () in
+  let sites = Mutate.candidate_sites ~enums f in
+  let site, kind = List.find (fun (_, k) -> k = Mutate.Relax_compare) sites in
+  let rng = Rng.create 1 in
+  let f' = Mutate.apply ~enums ~rng ~site ~kind f in
+  check "function changed" false (f = f');
+  (* same shape: pretty-printed loc unchanged by a comparison flip *)
+  check_int "same line count"
+    (Eywa_minic.Pretty.loc (Eywa_minic.Pretty.func f))
+    (Eywa_minic.Pretty.loc (Eywa_minic.Pretty.func f'))
+
+let test_mutation_deterministic () =
+  let f, enums = sample_func () in
+  let go seed =
+    Mutate.mutate ~enums ~rng:(Rng.create seed) ~temperature:0.8 f
+  in
+  check "same seed, same mutant" true (go 5 = go 5);
+  (* different seeds usually differ; check over several *)
+  let distinct =
+    List.sort_uniq compare (List.map (fun s -> fst (go s)) [ 1; 2; 3; 4; 5; 6 ])
+  in
+  check "seeds diversify" true (List.length distinct > 1)
+
+let test_mutation_wrong_enum_stays_in_enum () =
+  let f, enums = sample_func () in
+  let sites = Mutate.candidate_sites ~enums f in
+  match List.find_opt (fun (_, k) -> k = Mutate.Wrong_enum) sites with
+  | None -> Alcotest.fail "no enum site"
+  | Some (site, kind) ->
+      let f' = Mutate.apply ~enums ~rng:(Rng.create 2) ~site ~kind f in
+      (* the result still typechecks in its enum context *)
+      let p = { Ast.empty_program with Ast.enums; funcs = [ f' ] } in
+      check "mutant typechecks" true (Result.is_ok (Eywa_minic.Typecheck.check p))
+
+(* ----- the knowledge base ----- *)
+
+let test_kb_covers_all_models () =
+  let expected =
+    [
+      "cname_applies"; "dname_applies"; "wildcard_applies"; "ipv4_applies";
+      "is_valid_ipv4"; "record_matches_name"; "full_lookup"; "rcode_lookup";
+      "auth_lookup"; "loop_count"; "prefixLengthToSubnetMask"; "isValidRoute";
+      "isValidPrefixList"; "checkValidInputs"; "isMatchPrefixListEntry";
+      "isMatchRouteMapStanza"; "confed_action"; "rr_action"; "rr_rmap_action";
+      "smtp_server_response";
+    ]
+  in
+  List.iter
+    (fun name ->
+      check ("kb knows " ^ name) true (Gpt.knows Gpt.default_config name))
+    expected
+
+(* ----- oracle behaviour ----- *)
+
+let dname_prompt =
+  "typedef enum { A, AAAA, NS, TXT, CNAME, DNAME, SOA } RecordType;\n\
+   typedef struct { RecordType rtyp; char* name; char* rdat; } Record;\n\n\
+   // If a DNAME record matches a query.\n\
+   bool dname_applies(char* query, Record record) {\n\
+  \  // implement me\n"
+
+let complete ?(temperature = 0.6) ?(seed = 1) prompt =
+  Gpt.complete Gpt.default_config
+    { Eywa_core.Oracle.system = ""; user = prompt; temperature; seed }
+
+let test_oracle_known_function () =
+  let out = complete dname_prompt in
+  check "echoes typedefs" true (contains ~needle:"typedef enum" out);
+  check "implements the function" true
+    (contains ~needle:"bool dname_applies(char* query, Record record) {" out);
+  (* the completion parses and typechecks *)
+  match Parser.parse_result out with
+  | Error m -> Alcotest.failf "completion does not parse: %s" m
+  | Ok p -> check "typechecks" true (Result.is_ok (Eywa_minic.Typecheck.check p))
+
+let test_oracle_deterministic () =
+  check "same (seed, prompt) same completion" true
+    (complete ~seed:3 dname_prompt = complete ~seed:3 dname_prompt);
+  check "different seeds can differ" true
+    (List.length
+       (List.sort_uniq compare
+          (List.map (fun s -> complete ~seed:s dname_prompt) [ 1; 2; 3; 4; 5 ]))
+    > 1)
+
+let test_oracle_zero_temperature_stable () =
+  let outs = List.map (fun s -> complete ~temperature:0.0 ~seed:s dname_prompt) [ 1; 2; 3 ] in
+  (* tau = 0: no mutations, no commentary, identical code across seeds *)
+  check "tau=0 collapses to one completion" true
+    (List.length (List.sort_uniq compare outs) = 1)
+
+let test_oracle_unknown_function_stub () =
+  let prompt =
+    "// a protocol the model has never seen\n\
+     bool frobnicate_quux(char* data) {\n\
+    \  // implement me\n"
+  in
+  let out = complete prompt in
+  check "stub still defines the function" true
+    (contains ~needle:"bool frobnicate_quux(char* data) {" out);
+  match Parser.parse_result out with
+  | Error m -> Alcotest.failf "stub does not parse: %s" m
+  | Ok p -> check "stub typechecks" true (Result.is_ok (Eywa_minic.Typecheck.check p))
+
+let test_oracle_failure_rate () =
+  (* with fail_rate 1.0 every completion uses strtok and is rejected by
+     the typechecker — the compile-error path of §4.1 *)
+  let config = { Gpt.default_config with fail_rate = 1.0 } in
+  let out =
+    Gpt.complete config
+      { Eywa_core.Oracle.system = ""; user = dname_prompt; temperature = 0.5; seed = 1 }
+  in
+  check "mentions strtok" true (contains ~needle:"strtok" out);
+  match Parser.parse_result out with
+  | Error _ -> Alcotest.fail "sabotaged completion should parse"
+  | Ok p ->
+      check "but fails to compile" true
+        (Result.is_error (Eywa_minic.Typecheck.check p))
+
+(* ----- state graph extraction (Fig. 8) ----- *)
+
+let smtp_prompt =
+  "typedef enum { INITIAL, HELO_SENT, EHLO_SENT, MAIL_FROM_RECEIVED, \
+   RCPT_TO_RECEIVED, DATA_RECEIVED, QUITTED } State;\n\n\
+   // SMTP server response\n\
+   char* smtp_server_response(State state, char* input) {\n\
+  \  // implement me\n"
+
+let test_stategraph_roundtrip () =
+  let code = complete ~temperature:0.0 smtp_prompt in
+  let response = Gpt.complete_stategraph code in
+  check "response is a python dict" true (contains ~needle:"state_transitions = {" response);
+  match Extract.parse_pydict response with
+  | Error m -> Alcotest.fail m
+  | Ok transitions ->
+      check "nontrivial" true (List.length transitions >= 8);
+      (* extraction agrees with the SMTP reference machine *)
+      List.iter
+        (fun ((s, i), s') ->
+          check
+            (Printf.sprintf "(%s, %s) -> %s is a real transition" s i s')
+            true
+            (List.assoc_opt (s, i) Eywa_smtp.Machine.reference_transitions = Some s'))
+        transitions
+
+let test_stategraph_reaches_all_states () =
+  let code = complete ~temperature:0.0 smtp_prompt in
+  match Extract.state_graph code with
+  | Error m -> Alcotest.fail m
+  | Ok graph ->
+      List.iter
+        (fun goal ->
+          check ("reach " ^ goal) true
+            (Stategraph.path_to graph ~start:"INITIAL" ~goal <> None))
+        [ "HELO_SENT"; "EHLO_SENT"; "MAIL_FROM_RECEIVED"; "RCPT_TO_RECEIVED";
+          "DATA_RECEIVED"; "QUITTED" ]
+
+let test_pydict_parser () =
+  let text = "x = {\n  (\"A\", \"i\"): \"B\",\n  (\"B\", \"j\"): \"C\",\n}" in
+  match Extract.parse_pydict text with
+  | Error m -> Alcotest.fail m
+  | Ok ts -> check "two entries" true (ts = [ (("A", "i"), "B"); (("B", "j"), "C") ])
+
+let test_pydict_parser_errors () =
+  check "no brace" true (Result.is_error (Extract.parse_pydict "nothing here"));
+  check "malformed tuple" true (Result.is_error (Extract.parse_pydict "{(\"A\"): \"B\"}"))
+
+let test_extract_no_machine () =
+  check "non-state-machine code rejected" true
+    (Result.is_error (Extract.transitions_of_code "int f(int a) { return a; }"))
+
+let suite =
+  [
+    Alcotest.test_case "rng: deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: string seeding" `Quick test_rng_string_seed;
+    Alcotest.test_case "rng: bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng: pick" `Quick test_rng_pick;
+    Alcotest.test_case "prompt parse: recovers the task" `Quick test_prompt_parse;
+    Alcotest.test_case "prompt parse: rejects garbage" `Quick test_prompt_parse_garbage;
+    Alcotest.test_case "mutate: candidate sites" `Quick test_mutation_sites;
+    Alcotest.test_case "mutate: tau=0 is identity" `Quick test_mutation_zero_temperature_is_identity;
+    Alcotest.test_case "mutate: apply rewrites one site" `Quick test_mutation_apply_changes_one_site;
+    Alcotest.test_case "mutate: deterministic per seed" `Quick test_mutation_deterministic;
+    Alcotest.test_case "mutate: wrong-enum stays well typed" `Quick test_mutation_wrong_enum_stays_in_enum;
+    Alcotest.test_case "kb: covers all Table 2 modules" `Quick test_kb_covers_all_models;
+    Alcotest.test_case "oracle: known function" `Quick test_oracle_known_function;
+    Alcotest.test_case "oracle: deterministic" `Quick test_oracle_deterministic;
+    Alcotest.test_case "oracle: tau=0 collapses" `Quick test_oracle_zero_temperature_stable;
+    Alcotest.test_case "oracle: unknown function stub" `Quick test_oracle_unknown_function_stub;
+    Alcotest.test_case "oracle: sabotage fails to compile" `Quick test_oracle_failure_rate;
+    Alcotest.test_case "stategraph: Fig. 8 round trip" `Quick test_stategraph_roundtrip;
+    Alcotest.test_case "stategraph: all states reachable" `Quick test_stategraph_reaches_all_states;
+    Alcotest.test_case "pydict: parser" `Quick test_pydict_parser;
+    Alcotest.test_case "pydict: parser errors" `Quick test_pydict_parser_errors;
+    Alcotest.test_case "extract: requires a state machine" `Quick test_extract_no_machine;
+  ]

@@ -1,0 +1,49 @@
+(* Markdown bug-report rendering. *)
+
+module Report = Eywa_models.Report
+module Difftest = Eywa_difftest.Difftest
+
+let check = Alcotest.(check bool)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_generic_rendering () =
+  let acc = Difftest.create () in
+  ignore
+    (Difftest.record acc
+       [
+         { Difftest.impl = "a"; fields = [ ("rcode", "NOERROR") ] };
+         { Difftest.impl = "b"; fields = [ ("rcode", "NOERROR") ] };
+         { Difftest.impl = "c"; fields = [ ("rcode", "NXDOMAIN") ] };
+       ]);
+  let text = Report.render_generic ~title:"Findings" (Difftest.report acc) in
+  check "title" true (contains ~needle:"# Findings" text);
+  check "dissenter section" true (contains ~needle:"## c" text);
+  check "table row" true (contains ~needle:"| rcode | `NXDOMAIN` | `NOERROR` | 1 |" text);
+  check "only dissenters get sections" false (contains ~needle:"## a" text)
+
+let test_dns_report_end_to_end () =
+  let oracle = Eywa_llm.Gpt.oracle () in
+  match
+    Eywa_models.Model_def.synthesize ~k:3 ~timeout:2.0 ~oracle
+      Eywa_models.Dns_models.dname
+  with
+  | Error e -> Alcotest.fail e
+  | Ok synth ->
+      let text =
+        Report.dns ~model_id:"DNAME" ~version:Eywa_dns.Impls.Old
+          synth.unique_tests
+      in
+      check "has a title" true (contains ~needle:"# Eywa findings: DNS DNAME model" text);
+      check "knot section present" true (contains ~needle:"## knot" text);
+      check "reproduction zone included" true (contains ~needle:"$ORIGIN test." text);
+      check "query line included" true (contains ~needle:"Query: `" text)
+
+let suite =
+  [
+    Alcotest.test_case "generic rendering" `Quick test_generic_rendering;
+    Alcotest.test_case "dns report end to end" `Slow test_dns_report_end_to_end;
+  ]

@@ -1,0 +1,76 @@
+(* SMTP wire grammar. *)
+
+open Eywa_smtp
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_parse_commands () =
+  check "HELO" true (Wire.parse_command "HELO mail.example" = Machine.Helo);
+  check "helo lowercase" true (Wire.parse_command "helo x" = Machine.Helo);
+  check "EHLO" true (Wire.parse_command "EHLO x" = Machine.Ehlo);
+  check "MAIL FROM" true
+    (Wire.parse_command "MAIL FROM:<alice@test>" = Machine.Mail_from);
+  check "mail from case-insensitive" true
+    (Wire.parse_command "mail from:<a@b>" = Machine.Mail_from);
+  check "RCPT TO" true (Wire.parse_command "RCPT TO:<bob@test>" = Machine.Rcpt_to);
+  check "DATA" true (Wire.parse_command "DATA" = Machine.Data);
+  check "dot" true (Wire.parse_command "." = Machine.End_data);
+  check "QUIT" true (Wire.parse_command "QUIT" = Machine.Quit)
+
+let test_parse_malformed () =
+  check "MAIL FROM without brackets" true
+    (match Wire.parse_command "MAIL FROM:alice" with
+    | Machine.Other _ -> true
+    | _ -> false);
+  check "RCPT TO empty" true
+    (match Wire.parse_command "RCPT TO:" with Machine.Other _ -> true | _ -> false);
+  check "garbage" true
+    (match Wire.parse_command "FROBNICATE" with Machine.Other _ -> true | _ -> false)
+
+let test_command_roundtrip () =
+  List.iter
+    (fun c ->
+      check "wire round trip" true (Wire.parse_command (Wire.format_command c) = c))
+    [ Machine.Helo; Machine.Ehlo; Machine.Mail_from; Machine.Rcpt_to;
+      Machine.Data; Machine.End_data; Machine.Quit ]
+
+let test_replies () =
+  check_str "250" "250 OK" (Wire.format_reply "250");
+  check_str "354" "354 End data with <CR><LF>.<CR><LF>" (Wire.format_reply "354");
+  check "parse code" true (Wire.parse_reply "250 OK" = Ok "250");
+  check "parse rejects garbage" true (Result.is_error (Wire.parse_reply "hello"))
+
+let test_wire_session () =
+  let replies =
+    Wire.run_wire_session
+      [ "HELO client.test"; "MAIL FROM:<a@test>"; "RCPT TO:<b@test>"; "DATA";
+        "."; "QUIT" ]
+  in
+  Alcotest.(check (list string)) "full wire transaction"
+    [ "250 OK"; "250 OK"; "250 OK"; "354 End data with <CR><LF>.<CR><LF>";
+      "250 OK"; "221 Bye" ]
+    replies
+
+let test_wire_session_rejects_bad_path () =
+  (* a missing bracket makes MAIL FROM unrecognisable -> 503 *)
+  let replies = Wire.run_wire_session [ "HELO x"; "MAIL FROM:alice" ] in
+  check_str "bad path rejected" "503 Bad sequence of commands" (List.nth replies 1)
+
+let prop_reply_codes_parse_back =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"formatted replies parse back to their code"
+       (QCheck2.Gen.oneofl [ "220"; "221"; "250"; "354"; "500"; "503" ])
+       (fun code -> Wire.parse_reply (Wire.format_reply code) = Ok code))
+
+let suite =
+  [
+    Alcotest.test_case "parse commands" `Quick test_parse_commands;
+    Alcotest.test_case "parse malformed lines" `Quick test_parse_malformed;
+    Alcotest.test_case "command round trip" `Quick test_command_roundtrip;
+    Alcotest.test_case "reply formatting" `Quick test_replies;
+    Alcotest.test_case "wire session" `Quick test_wire_session;
+    Alcotest.test_case "bad reverse-path rejected" `Quick
+      test_wire_session_rejects_bad_path;
+    prop_reply_codes_parse_back;
+  ]

@@ -1,0 +1,213 @@
+module Term = Eywa_solver.Term
+module Solve = Eywa_solver.Solve
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bvar name = Term.fresh_var ~name Term.Sbool [| 0; 1 |]
+let ivar ?(domain = Array.init 8 (fun i -> i)) name =
+  Term.fresh_var ~name (Term.Sint 3) domain
+
+(* ----- smart constructors ----- *)
+
+let test_const_folding () =
+  check "and ff" true (Term.is_false (Term.and_ Term.ff Term.tt));
+  check "and tt" true (Term.is_true (Term.and_ Term.tt Term.tt));
+  check "or tt" true (Term.is_true (Term.or_ Term.ff Term.tt));
+  check "not" true (Term.is_false (Term.not_ Term.tt));
+  check "eq fold" true (Term.is_true (Term.eq (Term.const 3) (Term.const 3)));
+  check "lt fold" true (Term.is_false (Term.lt (Term.const 3) (Term.const 3)));
+  check "add fold" true (Term.add (Term.const 2) (Term.const 3) = Term.const 5);
+  check "mul zero" true (Term.mul (Term.const 0) (Term.var (bvar "b")) = Term.const 0);
+  check "div fold" true (Term.div (Term.const 7) (Term.const 2) = Term.const 3);
+  check "div by zero is total" true (Term.div (Term.const 7) (Term.const 0) = Term.const 0);
+  check "mod fold" true (Term.mod_ (Term.const 7) (Term.const 2) = Term.const 1)
+
+let test_var_identities () =
+  let v = Term.var (ivar "x") in
+  check "x = x folds" true (Term.is_true (Term.eq v v));
+  check "x < x folds" true (Term.is_false (Term.lt v v));
+  check "x <= x folds" true (Term.is_true (Term.le v v));
+  check "x + 0" true (Term.add v (Term.const 0) = v);
+  check "x * 1" true (Term.mul v (Term.const 1) = v);
+  check "x / 1" true (Term.div v (Term.const 1) = v)
+
+let test_ite () =
+  let v = Term.var (ivar "x") in
+  check "ite true" true (Term.ite Term.tt v (Term.const 0) = v);
+  check "ite false" true (Term.ite Term.ff v (Term.const 9) = Term.const 9);
+  check "ite same" true (Term.ite (Term.var (bvar "c")) v v = v)
+
+let test_vars_order () =
+  let a = ivar "a" and b = ivar "b" in
+  let t = Term.and_ (Term.eq (Term.var a) (Term.const 1))
+            (Term.eq (Term.var b) (Term.var a)) in
+  let vs = Term.vars t in
+  check_int "two vars" 2 (List.length vs);
+  check "first occurrence order" true
+    ((List.hd vs).Term.vid = a.Term.vid)
+
+let test_eval () =
+  let a = ivar "a" and b = ivar "b" in
+  let env vid = if vid = a.Term.vid then 3 else if vid = b.Term.vid then 5 else 0 in
+  let t = Term.add (Term.var a) (Term.mul (Term.var b) (Term.const 2)) in
+  check_int "3 + 5*2" 13 (Term.eval env t);
+  check_int "lt" 1 (Term.eval env (Term.lt (Term.var a) (Term.var b)));
+  check_int "not" 0 (Term.eval env (Term.not_ (Term.lt (Term.var a) (Term.var b))))
+
+let test_peval_short_circuit () =
+  let a = bvar "a" in
+  (* one side unknown, the other determines the result *)
+  let env _ = None in
+  check "and with ff" true
+    (Term.peval env (Term.And (Term.var a, Term.ff)) = Some 0);
+  check "or with tt" true
+    (Term.peval env (Term.Or (Term.var a, Term.tt)) = Some 1);
+  check "unknown stays unknown" true (Term.peval env (Term.var a) = None)
+
+(* ----- solver ----- *)
+
+let test_solve_simple () =
+  let x = ivar "x" in
+  let c = Term.eq (Term.var x) (Term.const 5) in
+  match Solve.solve [ c ] with
+  | Solve.Sat m -> check_int "x = 5" 5 (Solve.value m x)
+  | Solve.Unsat | Solve.Unknown -> Alcotest.fail "expected sat"
+
+let test_solve_unsat () =
+  let x = ivar "x" in
+  let cs = [ Term.lt (Term.var x) (Term.const 3); Term.gt (Term.var x) (Term.const 5) ] in
+  check "unsat" true (Solve.solve cs = Solve.Unsat)
+
+let test_solve_multi_var () =
+  let x = ivar "x" and y = ivar "y" in
+  let cs =
+    [
+      Term.eq (Term.add (Term.var x) (Term.var y)) (Term.const 9);
+      Term.lt (Term.var x) (Term.var y);
+      Term.gt (Term.var x) (Term.const 2);
+    ]
+  in
+  match Solve.solve cs with
+  | Solve.Sat m ->
+      let vx = Solve.value m x and vy = Solve.value m y in
+      check_int "sum" 9 (vx + vy);
+      check "x < y" true (vx < vy);
+      check "x > 2" true (vx > 2)
+  | Solve.Unsat | Solve.Unknown -> Alcotest.fail "expected sat"
+
+let test_solve_respects_domain () =
+  let x = ivar ~domain:[| 2; 4; 6 |] "x" in
+  let cs = [ Term.gt (Term.var x) (Term.const 4) ] in
+  match Solve.solve cs with
+  | Solve.Sat m -> check_int "only 6 fits" 6 (Solve.value m x)
+  | Solve.Unsat | Solve.Unknown -> Alcotest.fail "expected sat"
+
+let test_solve_budget () =
+  (* tiny budget forces Unknown on a search that needs backtracking *)
+  let vars = List.init 6 (fun i -> ivar (Printf.sprintf "v%d" i)) in
+  let sum =
+    List.fold_left (fun acc v -> Term.add acc (Term.var v)) (Term.const 0) vars
+  in
+  let cs = [ Term.eq sum (Term.const 42) ] in
+  match Solve.solve ~max_decisions:3 cs with
+  | Solve.Unknown -> ()
+  | Solve.Sat _ | Solve.Unsat -> Alcotest.fail "expected unknown under tiny budget"
+
+let test_empty_constraints () =
+  match Solve.solve [] with
+  | Solve.Sat _ -> ()
+  | Solve.Unsat | Solve.Unknown -> Alcotest.fail "empty set is sat"
+
+let test_constant_false () =
+  check "constant false is unsat" true (Solve.solve [ Term.ff ] = Solve.Unsat)
+
+let test_div_constraint () =
+  let x = ivar ~domain:(Array.init 16 (fun i -> i)) "x" in
+  let cs =
+    [
+      Term.eq (Term.div (Term.var x) (Term.const 4)) (Term.const 2);
+      Term.eq (Term.mod_ (Term.var x) (Term.const 4)) (Term.const 3);
+    ]
+  in
+  match Solve.solve cs with
+  | Solve.Sat m -> check_int "x = 11" 11 (Solve.value m x)
+  | Solve.Unsat | Solve.Unknown -> Alcotest.fail "expected sat"
+
+(* ----- properties ----- *)
+
+(* Random terms over a fixed set of variables. *)
+let gen_term vars =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ map Term.const (int_range (-4) 12);
+            map (fun i -> Term.var (List.nth vars (i mod List.length vars)))
+              (int_range 0 (List.length vars - 1)) ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            map Term.not_ sub;
+            map2 Term.and_ sub sub;
+            map2 Term.or_ sub sub;
+            map2 Term.eq sub sub;
+            map2 Term.lt sub sub;
+            map2 Term.le sub sub;
+            map2 Term.add sub sub;
+            map2 Term.sub sub sub;
+            map2 Term.mul sub sub;
+          ])
+
+let shared_vars = List.init 3 (fun i -> ivar (Printf.sprintf "q%d" i))
+
+let prop_solve_sound =
+  QCheck2.Test.make ~count:200 ~name:"models returned by solve satisfy the constraints"
+    (gen_term shared_vars)
+    (fun t ->
+      match Solve.solve ~max_decisions:100_000 [ t ] with
+      | Solve.Sat m -> Solve.check m [ t ]
+      | Solve.Unsat | Solve.Unknown -> true)
+
+let prop_peval_agrees_with_eval =
+  QCheck2.Test.make ~count:200 ~name:"peval under a total env agrees with eval"
+    (gen_term shared_vars)
+    (fun t ->
+      let env vid = (vid * 7 mod 5) + 1 in
+      let penv vid = Some (env vid) in
+      Term.peval penv t = Some (Term.eval env t))
+
+let prop_unsat_means_no_assignment =
+  QCheck2.Test.make ~count:100
+    ~name:"when solve says unsat, exhaustive enumeration agrees (1 var)"
+    (gen_term [ List.hd shared_vars ])
+    (fun t ->
+      let v = List.hd shared_vars in
+      match Solve.solve [ t ] with
+      | Solve.Unsat ->
+          Array.for_all
+            (fun value -> Term.eval (fun _ -> value) t = 0)
+            v.Term.domain
+      | Solve.Sat _ | Solve.Unknown -> true)
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_const_folding;
+    Alcotest.test_case "variable identities" `Quick test_var_identities;
+    Alcotest.test_case "ite simplification" `Quick test_ite;
+    Alcotest.test_case "vars in first-occurrence order" `Quick test_vars_order;
+    Alcotest.test_case "eval" `Quick test_eval;
+    Alcotest.test_case "peval short circuits" `Quick test_peval_short_circuit;
+    Alcotest.test_case "solve a simple equation" `Quick test_solve_simple;
+    Alcotest.test_case "detect unsat" `Quick test_solve_unsat;
+    Alcotest.test_case "solve multi-variable constraints" `Quick test_solve_multi_var;
+    Alcotest.test_case "solution drawn from the domain" `Quick test_solve_respects_domain;
+    Alcotest.test_case "decision budget yields Unknown" `Quick test_solve_budget;
+    Alcotest.test_case "empty constraint set is sat" `Quick test_empty_constraints;
+    Alcotest.test_case "constant false is unsat" `Quick test_constant_false;
+    Alcotest.test_case "div/mod constraints solve" `Quick test_div_constraint;
+    QCheck_alcotest.to_alcotest prop_solve_sound;
+    QCheck_alcotest.to_alcotest prop_peval_agrees_with_eval;
+    QCheck_alcotest.to_alcotest prop_unsat_means_no_assignment;
+  ]

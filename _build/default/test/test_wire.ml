@@ -1,0 +1,295 @@
+(* Wire-format codecs: DNS messages and BGP UPDATEs. *)
+
+module Dns = Eywa_dns
+module Bgp = Eywa_bgp
+module Serialize = Eywa_core.Serialize
+module Value = Eywa_minic.Value
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let n = Dns.Name.of_string
+
+(* ----- DNS wire ----- *)
+
+let sample_message () =
+  let query = { Dns.Message.qname = n "a.b.test."; qtype = Dns.Rr.A } in
+  let response =
+    {
+      Dns.Message.rcode = Dns.Message.NOERROR;
+      aa = true;
+      answer =
+        [
+          Dns.Rr.v (n "a.b.test.") Dns.Rr.CNAME (Dns.Rr.Target (n "c.test."));
+          Dns.Rr.v (n "c.test.") Dns.Rr.A (Dns.Rr.Address "10.0.0.1");
+        ];
+      authority = [ Dns.Rr.v (n "test.") Dns.Rr.SOA Dns.Rr.Soa_data ];
+      additional = [ Dns.Rr.v (n "t.test.") Dns.Rr.TXT (Dns.Rr.Text "hi") ];
+    }
+  in
+  Dns.Wire.of_response ~id:0x1234 query response
+
+let test_dns_roundtrip () =
+  let m = sample_message () in
+  match Dns.Wire.decode (Dns.Wire.encode m) with
+  | Error e -> Alcotest.fail e
+  | Ok m' ->
+      check_int "id" 0x1234 m'.Dns.Wire.header.id;
+      check "qr" true m'.Dns.Wire.header.qr;
+      check "aa" true m'.Dns.Wire.header.aa;
+      check "question" true (m'.Dns.Wire.question = m.Dns.Wire.question);
+      check "answer" true (m'.Dns.Wire.answer = m.Dns.Wire.answer);
+      check "authority types" true
+        (List.map (fun (r : Dns.Rr.t) -> r.rtype) m'.Dns.Wire.authority
+        = [ Dns.Rr.SOA ]);
+      check "additional" true (m'.Dns.Wire.additional = m.Dns.Wire.additional)
+
+let test_dns_response_projection () =
+  let m = sample_message () in
+  let r = Dns.Wire.to_response m in
+  check "rcode" true (r.Dns.Message.rcode = Dns.Message.NOERROR);
+  check_int "answers" 2 (List.length r.Dns.Message.answer)
+
+let test_dns_rcodes () =
+  List.iter
+    (fun rc ->
+      check "rcode round trips" true
+        (Dns.Wire.rcode_of_int (Dns.Wire.rcode_to_int rc) = rc))
+    [ Dns.Message.NOERROR; Dns.Message.NXDOMAIN; Dns.Message.SERVFAIL;
+      Dns.Message.REFUSED ]
+
+let test_dns_compression_pointer () =
+  (* hand-built message: one question whose name uses a pointer *)
+  let buf = Buffer.create 32 in
+  let u8 v = Buffer.add_char buf (Char.chr v) in
+  let u16 v = u8 (v lsr 8); u8 (v land 0xff) in
+  u16 0xbeef; u16 0x8000; u16 1; u16 0; u16 0; u16 0;
+  (* name at offset 12: "abc" + pointer to itself? no — "abc" then root *)
+  u8 3; Buffer.add_string buf "abc"; u8 0;
+  u16 1; u16 1;
+  (* second message copy replaced by: decode the first *)
+  (match Dns.Wire.decode (Buffer.contents buf) with
+  | Ok m -> check "qname" true ((List.hd m.Dns.Wire.question).qname = [ "abc" ])
+  | Error e -> Alcotest.fail e);
+  (* pointer loop must be rejected, not hang *)
+  let evil = Buffer.create 32 in
+  let u8 v = Buffer.add_char evil (Char.chr v) in
+  let u16 v = u8 (v lsr 8); u8 (v land 0xff) in
+  u16 0; u16 0; u16 1; u16 0; u16 0; u16 0;
+  u8 0xc0; u8 12;  (* pointer to itself *)
+  u16 1; u16 1;
+  check "pointer loop rejected" true
+    (Result.is_error (Dns.Wire.decode (Buffer.contents evil)))
+
+let test_dns_malformed () =
+  check "empty buffer" true (Result.is_error (Dns.Wire.decode ""));
+  check "truncated header" true (Result.is_error (Dns.Wire.decode "abc"));
+  let m = sample_message () in
+  let whole = Dns.Wire.encode m in
+  let cut = String.sub whole 0 (String.length whole - 3) in
+  check "truncated body" true (Result.is_error (Dns.Wire.decode cut))
+
+let test_dns_label_limit () =
+  let long = String.make 64 'a' in
+  let q = { Dns.Message.qname = [ long; "test" ]; qtype = Dns.Rr.A } in
+  let m = Dns.Wire.of_response ~id:1 q Dns.Message.empty_response in
+  check "64-byte label rejected" true
+    (match Dns.Wire.encode m with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_dns_roundtrip =
+  let gen_name =
+    QCheck2.Gen.(list_size (int_range 1 4) (oneofl [ "a"; "bb"; "xyz"; "star" ]))
+  in
+  let gen_rr =
+    QCheck2.Gen.(
+      map3
+        (fun owner kind target ->
+          match kind with
+          | 0 -> Dns.Rr.v owner Dns.Rr.A (Dns.Rr.Address "10.1.2.3")
+          | 1 -> Dns.Rr.v owner Dns.Rr.NS (Dns.Rr.Target target)
+          | 2 -> Dns.Rr.v owner Dns.Rr.CNAME (Dns.Rr.Target target)
+          | 3 -> Dns.Rr.v owner Dns.Rr.DNAME (Dns.Rr.Target target)
+          | _ -> Dns.Rr.v owner Dns.Rr.TXT (Dns.Rr.Text "data"))
+        gen_name (int_range 0 4) gen_name)
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150 ~name:"dns wire encode/decode round trips"
+       QCheck2.Gen.(pair gen_name (list_size (int_range 0 4) gen_rr))
+       (fun (qname, answer) ->
+         let m =
+           Dns.Wire.of_response ~id:7
+             { Dns.Message.qname; qtype = Dns.Rr.A }
+             { Dns.Message.empty_response with Dns.Message.answer }
+         in
+         match Dns.Wire.decode (Dns.Wire.encode m) with
+         | Ok m' ->
+             m'.Dns.Wire.question = m.Dns.Wire.question
+             && m'.Dns.Wire.answer = m.Dns.Wire.answer
+         | Error _ -> false))
+
+(* ----- BGP wire ----- *)
+
+let pfx s = match Bgp.Prefix.of_string s with Ok p -> p | Error m -> Alcotest.fail m
+
+let sample_route () =
+  Bgp.Route.v ~next_hop:0x0A000001l
+    ~as_path:
+      [ Bgp.Aspath.Confed_seq [ 65001 ]; Bgp.Aspath.Seq [ 100; 200 ];
+        Bgp.Aspath.Set [ 300; 400 ] ]
+    ~local_pref:250 ~med:30 ~origin:Bgp.Route.Egp
+    ~communities:[ (65000, 1); (65000, 2) ]
+    (pfx "10.128.0.0/9")
+
+let test_bgp_roundtrip () =
+  let r = sample_route () in
+  match Bgp.Wire.decode_route (Bgp.Wire.encode_route r) with
+  | Error e -> Alcotest.fail e
+  | Ok r' ->
+      check "prefix" true (Bgp.Prefix.equal r'.Bgp.Route.prefix r.Bgp.Route.prefix);
+      check "path" true (Bgp.Aspath.equal r'.Bgp.Route.as_path r.Bgp.Route.as_path);
+      check_int "lp" 250 r'.Bgp.Route.local_pref;
+      check_int "med" 30 r'.Bgp.Route.med;
+      check "origin" true (r'.Bgp.Route.origin = Bgp.Route.Egp);
+      check "nh" true (r'.Bgp.Route.next_hop = 0x0A000001l);
+      check "communities" true (r'.Bgp.Route.communities = [ (65000, 1); (65000, 2) ])
+
+let test_bgp_withdrawals () =
+  let u =
+    { Bgp.Wire.withdrawn = [ pfx "10.0.0.0/8"; pfx "192.168.0.0/16" ];
+      route = None; nlri = [] }
+  in
+  match Bgp.Wire.decode (Bgp.Wire.encode u) with
+  | Error e -> Alcotest.fail e
+  | Ok u' ->
+      check_int "two withdrawals" 2 (List.length u'.Bgp.Wire.withdrawn);
+      check "no route" true (u'.Bgp.Wire.route = None)
+
+let test_bgp_malformed () =
+  check "short" true (Result.is_error (Bgp.Wire.decode "xx"));
+  let whole = Bgp.Wire.encode_route (sample_route ()) in
+  let cut = String.sub whole 0 (String.length whole - 2) in
+  check "truncated" true (Result.is_error (Bgp.Wire.decode cut));
+  check "length mismatch" true
+    (Result.is_error (Bgp.Wire.decode (whole ^ "zz")))
+
+let test_bgp_as_limit () =
+  let r = Bgp.Route.v ~as_path:(Bgp.Aspath.prepend 70000 Bgp.Aspath.empty)
+      (pfx "10.0.0.0/8") in
+  check "32-bit AS rejected by the 16-bit encoder" true
+    (match Bgp.Wire.encode_route r with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_bgp_roundtrip =
+  let gen_route =
+    QCheck2.Gen.(
+      map3
+        (fun addr len asns ->
+          Bgp.Route.v
+            ~as_path:(if asns = [] then [] else [ Bgp.Aspath.Seq asns ])
+            ~local_pref:(100 + List.length asns)
+            (Bgp.Prefix.v (Int32.of_int addr) len))
+        (int_range 0 0x3FFFFFFF) (int_range 0 32)
+        (list_size (int_range 0 5) (int_range 1 65535)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"bgp wire encode/decode round trips"
+       gen_route
+       (fun r ->
+         match Bgp.Wire.decode_route (Bgp.Wire.encode_route r) with
+         | Ok r' -> r' = r
+         | Error _ -> false))
+
+(* ----- test-suite serialization ----- *)
+
+let gen_value =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self size ->
+      if size <= 0 then
+        oneof
+          [
+            pure Value.Vunit;
+            map (fun b -> Value.Vbool b) bool;
+            map (fun c -> Value.Vchar (Char.chr c)) (int_range 0 255);
+            map (fun i -> Value.Vint i) (int_range (-1000) 1000);
+            map (fun i -> Value.Venum ("Kind", i)) (int_range 0 6);
+            map (fun s -> Value.Vstring s)
+              (string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 6));
+          ]
+      else
+        oneof
+          [
+            map (fun fields -> Value.Vstruct ("S", fields))
+              (list_size (int_range 1 3)
+                 (pair (oneofl [ "x"; "y"; "zz" ]) (self (size / 2))));
+            map (fun vs -> Value.Varray (Array.of_list vs))
+              (list_size (int_range 0 3) (self (size / 2)));
+          ])
+
+let prop_value_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"serialized values round trip"
+       gen_value
+       (fun v ->
+         match Serialize.value_of_string (Serialize.value_to_string v) with
+         | Ok v' -> Value.equal v v'
+         | Error _ -> false))
+
+let prop_test_line_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"serialized test lines round trip"
+       QCheck2.Gen.(triple gen_value gen_value bool)
+       (fun (a, b, bad) ->
+         let t =
+           { Eywa_core.Testcase.inputs = [ ("x", a); ("y", b) ];
+             result = Some a; bad_input = bad; error = None }
+         in
+         match Serialize.test_of_line (Serialize.test_to_line t) with
+         | Ok t' -> t' = t
+         | Error _ -> false))
+
+let test_suite_file_roundtrip () =
+  let tests =
+    [
+      { Eywa_core.Testcase.inputs = [ ("q", Value.of_cstring "a.b") ];
+        result = Some (Value.Vbool true); bad_input = false; error = None };
+      { Eywa_core.Testcase.inputs = [ ("q", Value.Vint 3) ];
+        result = None; bad_input = true; error = Some "step budget" };
+    ]
+  in
+  let path = Filename.temp_file "eywa" ".suite" in
+  Serialize.save path tests;
+  (match Serialize.load path with
+  | Ok loaded -> check "file round trip" true (loaded = tests)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path
+
+let test_suite_load_errors () =
+  check "missing file" true (Result.is_error (Serialize.load "/nonexistent/x"));
+  let path = Filename.temp_file "eywa" ".suite" in
+  let oc = open_out path in
+  output_string oc "# header\nnot a test line\n";
+  close_out oc;
+  check "malformed line reported" true (Result.is_error (Serialize.load path));
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "dns wire: round trip" `Quick test_dns_roundtrip;
+    Alcotest.test_case "dns wire: response projection" `Quick test_dns_response_projection;
+    Alcotest.test_case "dns wire: rcodes" `Quick test_dns_rcodes;
+    Alcotest.test_case "dns wire: compression pointers" `Quick test_dns_compression_pointer;
+    Alcotest.test_case "dns wire: malformed input" `Quick test_dns_malformed;
+    Alcotest.test_case "dns wire: label length limit" `Quick test_dns_label_limit;
+    prop_dns_roundtrip;
+    Alcotest.test_case "bgp wire: round trip" `Quick test_bgp_roundtrip;
+    Alcotest.test_case "bgp wire: withdrawals" `Quick test_bgp_withdrawals;
+    Alcotest.test_case "bgp wire: malformed input" `Quick test_bgp_malformed;
+    Alcotest.test_case "bgp wire: AS number limit" `Quick test_bgp_as_limit;
+    prop_bgp_roundtrip;
+    prop_value_roundtrip;
+    prop_test_line_roundtrip;
+    Alcotest.test_case "serialize: suite files round trip" `Quick test_suite_file_roundtrip;
+    Alcotest.test_case "serialize: load errors" `Quick test_suite_load_errors;
+  ]
