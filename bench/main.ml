@@ -5,11 +5,14 @@
      table2  — Table 2: models, LoC, unique test counts
      table3  — Table 3: bugs found per implementation (+ new-bug flags)
      fig10   — Fig. 10: unique tests vs k for several temperatures
-     timing  — §4.3 result 1: generation and symbolic-execution times
-     micro   — Bechamel micro-benchmarks of the core engines
+     timing   — §4.3 result 1: generation and symbolic-execution times
+     parallel — jobs=1 vs jobs=N wall clock for the pooled stages
+     micro    — Bechamel micro-benchmarks of the core engines
 
    Run with no argument to execute everything in order. Pass [fast] as
-   a final argument for a quick smoke-scale run. Counts reproduce the
+   a final argument for a quick smoke-scale run; [--jobs N] sizes the
+   domain pools and [--json PATH] writes the parallel stage's
+   measurements as JSON. Counts reproduce the
    paper's *shape* (relative sizes, who hits the timeout, diminishing
    returns around k = 10), not its absolute numbers: the substrate here
    is the built-in symbolic executor and bug-seeded reference
@@ -31,6 +34,10 @@ type scale = { k : int; timeout_scale : float; fig10_max_k : int; fig10_seeds : 
 let full_scale = { k = 10; timeout_scale = 0.5; fig10_max_k = 12; fig10_seeds = 2 }
 let fast_scale = { k = 3; timeout_scale = 0.1; fig10_max_k = 6; fig10_seeds = 1 }
 
+(* --jobs N / --json PATH, set by the driver before any stage runs *)
+let jobs : int option ref = ref None
+let json_path : string option ref = ref None
+
 (* ----- shared synthesis cache ----- *)
 
 let cache : (string, Synthesis.t) Hashtbl.t = Hashtbl.create 16
@@ -42,7 +49,7 @@ let synthesize scale (m : Model_def.t) =
       match
         Model_def.synthesize ~k:scale.k
           ~timeout:(Float.max 1.0 (m.timeout *. scale.timeout_scale))
-          ~oracle m
+          ?jobs:!jobs ~oracle m
       with
       | Ok s ->
           Hashtbl.replace cache m.id s;
@@ -112,8 +119,8 @@ let table3 scale =
       All.dns
   in
   let dns_found =
-    Dns_adapter.quirks_triggered ~version:Eywa_dns.Impls.Old
-      ~model_ids_and_tests:dns_tests
+    Dns_adapter.quirks_triggered ?jobs:!jobs ~version:Eywa_dns.Impls.Old
+      dns_tests
   in
   Printf.printf "%-6s %-12s %-55s %-18s %-5s %s\n" "Proto" "Impl" "Description"
     "Bug type" "New?" "Found";
@@ -128,7 +135,7 @@ let table3 scale =
     List.map (fun (m : Model_def.t) -> (m.id, (synthesize scale m).unique_tests))
       All.bgp
   in
-  let bgp_found = Bgp_adapter.quirks_triggered ~model_ids_and_tests:bgp_tests in
+  let bgp_found = Bgp_adapter.quirks_triggered ?jobs:!jobs bgp_tests in
   List.iter
     (fun (impl, (b : Eywa_bgp.Impls.bug)) ->
       Printf.printf "%-6s %-12s %-55s %-18s %-5s %s\n" "BGP" impl b.description
@@ -139,7 +146,8 @@ let table3 scale =
   let smtp_synth = synthesize scale (List.hd All.smtp) in
   let smtp_found =
     match Smtp_adapter.state_graph_for smtp_synth with
-    | Ok graph -> Smtp_adapter.quirks_triggered ~graph smtp_synth.unique_tests
+    | Ok graph ->
+        Smtp_adapter.quirks_triggered ?jobs:!jobs ~graph smtp_synth.unique_tests
     | Error _ -> []
   in
   List.iter
@@ -195,7 +203,7 @@ let fig10 scale =
             List.init scale.fig10_seeds (fun seed ->
                 match
                   Model_def.synthesize ~k:scale.fig10_max_k ~temperature:tau
-                    ~seed:(100 * (seed + 1)) ~timeout:2.0 ~oracle m
+                    ~seed:(100 * (seed + 1)) ~timeout:2.0 ?jobs:!jobs ~oracle m
                 with
                 | Ok s ->
                     let per_model =
@@ -404,14 +412,17 @@ let ablate scale =
         samples_per_path = samples;
       }
     in
-    match Synthesis.run ~config ~oracle m.Model_def.graph ~main:m.Model_def.main with
+    match
+      Synthesis.run ~config ?jobs:!jobs ~oracle m.Model_def.graph
+        ~main:m.Model_def.main
+    with
     | Ok s -> s
     | Error e -> failwith e
   in
   let bug_count (s : Synthesis.t) =
     List.length
-      (Dns_adapter.quirks_triggered ~version:Eywa_dns.Impls.Old
-         ~model_ids_and_tests:[ ("DNAME", s.unique_tests) ])
+      (Dns_adapter.quirks_triggered ?jobs:!jobs ~version:Eywa_dns.Impls.Old
+         [ ("DNAME", s.unique_tests) ])
   in
   ignore scale;
   (* 1 + 4: k and sampling *)
@@ -460,10 +471,136 @@ let ablate scale =
     \                 (differential voting avoids all of these false alarms)\n"
     !false_positives !applicable
 
+(* ----- parallel speedup ----- *)
+
+(* Everything observable about a synthesis except wall-clock timings;
+   two runs are "byte-identical" iff these strings are equal. *)
+let fingerprint (s : Synthesis.t) =
+  String.concat "\n"
+    (Printf.sprintf "loc=%d/%d programs=%d" s.loc_min s.loc_max
+       (List.length s.programs)
+     :: List.map Testcase.to_string s.unique_tests
+    @ List.concat_map
+        (fun (r : Synthesis.model_result) ->
+          Printf.sprintf "model %d loc=%d err=%s" r.index r.c_loc
+            (Option.value ~default:"-" r.compile_error)
+          :: List.map Testcase.to_string r.tests)
+        s.results)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Times the synthesis+symex stage and the difftest stage at jobs=1
+   and jobs=N, checking the byte-identity claim on every run. With
+   --json PATH the measurements are also written as JSON. *)
+let parallel scale =
+  let n =
+    match !jobs with
+    | Some j -> max 1 j
+    | None -> Eywa_core.Pool.default_jobs ()
+  in
+  Printf.printf "\n%s\nParallel pool: jobs=1 vs jobs=%d\n%s\n" line n line;
+  let models =
+    [ Eywa_models.Dns_models.cname; Eywa_models.Dns_models.dname;
+      Eywa_models.Bgp_models.rr ]
+  in
+  let synth ~jobs (m : Model_def.t) =
+    match Model_def.synthesize ~k:scale.k ~timeout:10.0 ~jobs ~oracle m with
+    | Ok s -> s
+    | Error e -> failwith (m.id ^ ": " ^ e)
+  in
+  Printf.printf "%-24s %12s %12s %9s %s\n" "stage" "jobs=1 (s)"
+    (Printf.sprintf "jobs=%d (s)" n) "speedup" "identical";
+  let stages =
+    List.map
+      (fun (m : Model_def.t) ->
+        let s1, t1 = time (fun () -> synth ~jobs:1 m) in
+        let sn, tn = time (fun () -> synth ~jobs:n m) in
+        ("synthesis:" ^ m.id, t1, tn, fingerprint s1 = fingerprint sn, Some (m, s1)))
+      models
+  in
+  (* difftest stage: replay the CNAME suite against the DNS servers *)
+  let stages =
+    stages
+    @
+    match stages with
+    | ("synthesis:CNAME", _, _, _, Some (m, s)) :: _ ->
+        let r1, t1 =
+          time (fun () ->
+              Dns_adapter.run ~jobs:1 ~model_id:m.id
+                ~version:Eywa_dns.Impls.Old s.unique_tests)
+        in
+        let rn, tn =
+          time (fun () ->
+              Dns_adapter.run ~jobs:n ~model_id:m.id
+                ~version:Eywa_dns.Impls.Old s.unique_tests)
+        in
+        let render r = Format.asprintf "%a" Difftest.pp_report r in
+        [ ("difftest:CNAME", t1, tn, render r1 = render rn, None) ]
+    | _ -> []
+  in
+  let total l sel = List.fold_left (fun acc st -> acc +. sel st) 0.0 l in
+  let t1_total = total stages (fun (_, t1, _, _, _) -> t1) in
+  let tn_total = total stages (fun (_, _, tn, _, _) -> tn) in
+  let all_identical = List.for_all (fun (_, _, _, same, _) -> same) stages in
+  let speedup t1 tn = if tn > 0.0 then t1 /. tn else 1.0 in
+  List.iter
+    (fun (name, t1, tn, same, _) ->
+      Printf.printf "%-24s %12.2f %12.2f %8.2fx %s\n" name t1 tn (speedup t1 tn)
+        (if same then "yes" else "NO"))
+    stages;
+  Printf.printf "%s\n%-24s %12.2f %12.2f %8.2fx %s\n" line "total" t1_total
+    tn_total
+    (speedup t1_total tn_total)
+    (if all_identical then "yes" else "NO");
+  if not all_identical then
+    failwith "parallel: output differs between jobs=1 and jobs=N";
+  (match !json_path with
+  | None -> ()
+  | Some path ->
+      (try
+      let oc = open_out path in
+      let stage_json (name, t1, tn, same, _) =
+        Printf.sprintf
+          "    { \"stage\": %S, \"jobs1_seconds\": %.4f, \"jobsN_seconds\": \
+           %.4f, \"speedup\": %.4f, \"identical_output\": %b }"
+          name t1 tn (speedup t1 tn) same
+      in
+      Printf.fprintf oc
+        "{\n\
+        \  \"jobs\": %d,\n\
+        \  \"cores\": %d,\n\
+        \  \"stages\": [\n\
+         %s\n\
+        \  ],\n\
+        \  \"total\": { \"jobs1_seconds\": %.4f, \"jobsN_seconds\": %.4f, \
+         \"speedup\": %.4f },\n\
+        \  \"identical_output\": %b\n\
+         }\n"
+        n
+        (Domain.recommended_domain_count ())
+        (String.concat ",\n" (List.map stage_json stages))
+        t1_total tn_total (speedup t1_total tn_total) all_identical;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+      with Sys_error m -> Printf.eprintf "error: cannot write JSON: %s\n" m))
+
 (* ----- driver ----- *)
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse_flags = function
+    | [] -> []
+    | "--jobs" :: v :: rest ->
+        jobs := Some (int_of_string v);
+        parse_flags rest
+    | "--json" :: p :: rest ->
+        json_path := Some p;
+        parse_flags rest
+    | a :: rest -> a :: parse_flags rest
+  in
+  let args = parse_flags (Array.to_list Sys.argv |> List.tl) in
   let fast = List.mem "fast" args in
   let scale = if fast then fast_scale else full_scale in
   let commands = List.filter (fun a -> a <> "fast") args in
@@ -476,6 +613,7 @@ let () =
   if wants "fig10" then fig10 scale;
   if wants "timing" then timing scale;
   if wants "ablate" then ablate scale;
+  if wants "parallel" then parallel scale;
   if wants "micro" then micro ();
   Printf.printf "\n%s\ntotal bench time: %.1f s%s\n" line
     (Unix.gettimeofday () -. t0)

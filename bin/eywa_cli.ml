@@ -41,8 +41,19 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
 let timeout_arg =
-  let doc = "Symbolic-execution timeout per model, in seconds." in
+  let doc =
+    "Symbolic-execution budget per model, in budget seconds (a \
+     deterministic tick budget calibrated to roughly wall seconds)."
+  in
   Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the synthesis and difftest pools. Defaults to \
+     $(b,EYWA_JOBS) or the recommended domain count; output is identical at \
+     any value."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let limit_arg =
   let doc = "Print at most this many tests." in
@@ -101,11 +112,11 @@ let prompt_cmd =
     Term.(ret (const run $ model_arg))
 
 let run_cmd =
-  let run id k temperature seed timeout limit save =
+  let run id k temperature seed timeout jobs limit save =
     match find_model id with
     | Error e -> `Error (false, e)
     | Ok m -> (
-        match Model_def.synthesize ~k ~temperature ~seed ?timeout ~oracle m with
+        match Model_def.synthesize ~k ~temperature ~seed ?timeout ?jobs ~oracle m with
         | Error e -> `Error (false, e)
         | Ok s ->
             Printf.printf
@@ -132,10 +143,10 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Synthesize a model and print its generated tests.")
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
-               $ timeout_arg $ limit_arg $ save_arg))
+               $ timeout_arg $ jobs_arg $ limit_arg $ save_arg))
 
 let replay_cmd =
-  let run id suite version =
+  let run id suite version jobs =
     match find_model id with
     | Error e -> `Error (false, e)
     | Ok m -> (
@@ -146,11 +157,13 @@ let replay_cmd =
             (match m.protocol with
             | "DNS" ->
                 let report =
-                  Eywa_models.Dns_adapter.run ~model_id:m.id ~version tests
+                  Eywa_models.Dns_adapter.run ?jobs ~model_id:m.id ~version tests
                 in
                 Format.printf "%a" Difftest.pp_report report
             | "BGP" ->
-                let report = Eywa_models.Bgp_adapter.run ~model_id:m.id tests in
+                let report =
+                  Eywa_models.Bgp_adapter.run ?jobs ~model_id:m.id tests
+                in
                 Format.printf "%a" Difftest.pp_report report
             | _ -> print_endline "replay currently supports DNS and BGP models");
             `Ok ())
@@ -158,41 +171,41 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Differentially replay a saved test suite without re-synthesis.")
-    Term.(ret (const run $ model_arg $ suite_arg $ version_arg))
+    Term.(ret (const run $ model_arg $ suite_arg $ version_arg $ jobs_arg))
 
 let difftest_cmd =
-  let run id k temperature seed timeout version =
+  let run id k temperature seed timeout jobs version =
     match find_model id with
     | Error e -> `Error (false, e)
     | Ok m -> (
-        match Model_def.synthesize ~k ~temperature ~seed ?timeout ~oracle m with
+        match Model_def.synthesize ~k ~temperature ~seed ?timeout ?jobs ~oracle m with
         | Error e -> `Error (false, e)
         | Ok s ->
             Printf.printf "%s: %d unique tests\n" m.id (List.length s.unique_tests);
             let report, causes =
               match m.protocol with
               | "DNS" ->
-                  ( Eywa_models.Dns_adapter.run ~model_id:m.id ~version
+                  ( Eywa_models.Dns_adapter.run ?jobs ~model_id:m.id ~version
                       s.unique_tests,
                     List.map
                       (fun (impl, q) ->
                         (impl, Eywa_dns.Lookup.quirk_to_string q))
-                      (Eywa_models.Dns_adapter.quirks_triggered ~version
-                         ~model_ids_and_tests:[ (m.id, s.unique_tests) ]) )
+                      (Eywa_models.Dns_adapter.quirks_triggered ?jobs ~version
+                         [ (m.id, s.unique_tests) ]) )
               | "BGP" ->
-                  ( Eywa_models.Bgp_adapter.run ~model_id:m.id s.unique_tests,
+                  ( Eywa_models.Bgp_adapter.run ?jobs ~model_id:m.id s.unique_tests,
                     List.map
                       (fun (impl, q) -> (impl, Eywa_bgp.Quirks.to_string q))
-                      (Eywa_models.Bgp_adapter.quirks_triggered
-                         ~model_ids_and_tests:[ (m.id, s.unique_tests) ]) )
+                      (Eywa_models.Bgp_adapter.quirks_triggered ?jobs
+                         [ (m.id, s.unique_tests) ]) )
               | _ -> (
                   match Eywa_models.Smtp_adapter.state_graph_for s with
                   | Error e -> failwith e
                   | Ok graph ->
-                      ( Eywa_models.Smtp_adapter.run ~graph s.unique_tests,
+                      ( Eywa_models.Smtp_adapter.run ?jobs ~graph s.unique_tests,
                         List.map
                           (fun (impl, _) -> (impl, "accept-mail-without-helo"))
-                          (Eywa_models.Smtp_adapter.quirks_triggered ~graph
+                          (Eywa_models.Smtp_adapter.quirks_triggered ?jobs ~graph
                              s.unique_tests) ))
             in
             Format.printf "%a" Difftest.pp_report report;
@@ -206,17 +219,17 @@ let difftest_cmd =
     (Cmd.info "difftest"
        ~doc:"Synthesize a model and differentially test the implementations.")
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
-               $ timeout_arg $ version_arg))
+               $ timeout_arg $ jobs_arg $ version_arg))
 
 let report_cmd =
-  let run id k temperature seed timeout version =
+  let run id k temperature seed timeout jobs version =
     match find_model id with
     | Error e -> `Error (false, e)
     | Ok m ->
         if m.protocol <> "DNS" then
           `Error (false, "report currently supports DNS models")
         else (
-          match Model_def.synthesize ~k ~temperature ~seed ?timeout ~oracle m with
+          match Model_def.synthesize ~k ~temperature ~seed ?timeout ?jobs ~oracle m with
           | Error e -> `Error (false, e)
           | Ok s ->
               print_string
@@ -227,7 +240,7 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Synthesize a DNS model and print a filing-ready markdown bug report.")
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
-               $ timeout_arg $ version_arg))
+               $ timeout_arg $ jobs_arg $ version_arg))
 
 let bugs_cmd =
   let run () =

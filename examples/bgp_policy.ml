@@ -43,7 +43,7 @@ let () =
     [ rmap; confed ];
 
   print_endline "\n=== root causes ===";
-  let found = Bgp_adapter.quirks_triggered ~model_ids_and_tests:[ rmap; confed ] in
+  let found = Bgp_adapter.quirks_triggered [ rmap; confed ] in
   List.iter
     (fun (impl, quirk) ->
       Printf.printf "  %-8s %s\n" impl (Eywa_bgp.Quirks.to_string quirk))

@@ -56,7 +56,7 @@ let () =
   print_endline "\n=== root causes (attributed by quirk removal) ===";
   let found =
     Dns_adapter.quirks_triggered ~version:Eywa_dns.Impls.Old
-      ~model_ids_and_tests:tests
+      tests
   in
   List.iter
     (fun (impl, quirk) ->

@@ -11,7 +11,8 @@ let func_module name desc args =
     invalid_arg "Emodule.func_module: need at least one input and the result";
   Func { name; desc; args }
 
-let regex_counter = ref 0
+(* atomic: models may be defined from any domain *)
+let regex_counter = Atomic.make 0
 
 let regex_module pattern (target : Etype.Arg.t) =
   (* validate the pattern now so mistakes surface at model-definition
@@ -20,8 +21,7 @@ let regex_module pattern (target : Etype.Arg.t) =
   (match Etype.strip_alias target.ty with
   | Etype.String _ -> ()
   | _ -> invalid_arg "Emodule.regex_module: target must be a string argument");
-  let rname = Printf.sprintf "__eywa_regex_%d" !regex_counter in
-  incr regex_counter;
+  let rname = Printf.sprintf "__eywa_regex_%d" (Atomic.fetch_and_add regex_counter 1) in
   Regex { rname; pattern; target }
 
 let custom_module cname source = Custom { cname; source }

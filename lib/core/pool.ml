@@ -1,0 +1,141 @@
+(* A fixed-size domain work-pool. Workers are spawned once at [create]
+   and consume closures from a Mutex/Condition-protected queue; [map]
+   fans a list out to the pool and merges results back **by input
+   index**, never by completion order, so callers observe byte-identical
+   output at any pool size. *)
+
+let in_worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get in_worker_key
+
+let env_jobs () =
+  match Sys.getenv_opt "EYWA_JOBS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None -> None)
+
+let default_jobs () =
+  match env_jobs () with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+type t = {
+  size : int;
+  queue : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size pool = pool.size
+
+let worker pool () =
+  Domain.DLS.set in_worker_key true;
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let rec take () =
+      match Queue.take_opt pool.queue with
+      | Some task -> Some task
+      | None ->
+          if pool.closed then None
+          else begin
+            Condition.wait pool.nonempty pool.mutex;
+            take ()
+          end
+    in
+    let task = take () in
+    Mutex.unlock pool.mutex;
+    match task with
+    | None -> ()
+    | Some f ->
+        (* tasks enqueued by [map] never raise; this is a backstop so a
+           misbehaving closure cannot kill the worker *)
+        (try f () with _ -> ());
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  (* A pool created from inside another pool's worker is degenerate:
+     its [map] would run inline anyway, so don't spawn idle domains. *)
+  let jobs = if in_worker () then 1 else max 1 jobs in
+  let pool =
+    {
+      size = jobs;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    pool.workers <- List.init jobs (fun _ -> Domain.spawn (worker pool));
+  pool
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  if not pool.closed then begin
+    pool.closed <- true;
+    Condition.broadcast pool.nonempty
+  end;
+  Mutex.unlock pool.mutex;
+  let workers = pool.workers in
+  pool.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map pool f xs =
+  if pool.size <= 1 || in_worker () then List.map f xs
+  else begin
+    let arr = Array.of_list xs in
+    let n = Array.length arr in
+    if n = 0 then []
+    else begin
+      let results = Array.make n None in
+      (* the smallest failing index wins, matching what a sequential
+         left-to-right traversal would raise *)
+      let first_error = ref None in
+      let remaining = ref n in
+      let done_mutex = Mutex.create () in
+      let all_done = Condition.create () in
+      let task i () =
+        let outcome = try Ok (f arr.(i)) with e -> Error e in
+        Mutex.lock done_mutex;
+        (match outcome with
+        | Ok r -> results.(i) <- Some r
+        | Error e -> (
+            match !first_error with
+            | Some (j, _) when j < i -> ()
+            | Some _ | None -> first_error := Some (i, e)));
+        decr remaining;
+        if !remaining = 0 then Condition.signal all_done;
+        Mutex.unlock done_mutex
+      in
+      Mutex.lock pool.mutex;
+      if pool.closed then begin
+        Mutex.unlock pool.mutex;
+        invalid_arg "Pool.map: pool is shut down"
+      end;
+      for i = 0 to n - 1 do
+        Queue.add (task i) pool.queue
+      done;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.mutex;
+      Mutex.lock done_mutex;
+      while !remaining > 0 do
+        Condition.wait all_done done_mutex
+      done;
+      Mutex.unlock done_mutex;
+      match !first_error with
+      | Some (_, e) -> raise e
+      | None ->
+          Array.to_list
+            (Array.map (function Some r -> r | None -> assert false) results)
+    end
+  end

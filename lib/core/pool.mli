@@ -1,0 +1,43 @@
+(** Fixed-size domain work-pool for the synthesis pipeline.
+
+    The three hot loops of the pipeline — the per-model-index loop in
+    {!Synthesis.run}, the per-test loop of differential testing, and
+    the per-model loop of the benchmark harness — are embarrassingly
+    parallel. This pool runs them across OCaml domains while keeping
+    the pipeline's determinism invariant: {!map} merges results by
+    input index, never by completion order, so output is bit-for-bit
+    independent of the pool size. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The [EYWA_JOBS] environment variable if set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)
+
+val create : jobs:int -> t
+(** Spawn a pool of [max 1 jobs] worker domains ([jobs <= 1] spawns
+    none and makes {!map} run inline). Creating a pool from inside a
+    pool worker yields a degenerate inline pool — nested parallelism
+    would oversubscribe the machine and risk deadlock. *)
+
+val size : t -> int
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join the workers. Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map: [map pool f xs] equals
+    [List.map f xs] for deterministic [f], whatever the pool size.
+    On failure the exception belonging to the {e smallest} failing
+    index is re-raised — the same exception a sequential left-to-right
+    run surfaces first (the parallel path may have attempted the
+    remaining elements, the inline path stops early; with a
+    deterministic [f] the observable result is identical). Calls from
+    inside a pool worker run inline sequentially. *)
+
+val in_worker : unit -> bool
+(** Whether the calling domain is one of a pool's workers. *)

@@ -128,9 +128,10 @@ let path_to_tests config (path : Exec.path) inputs : Testcase.t list =
 
 let synthesize_one oracle config g (main : Emodule.func) order index :
     model_result * Ast.program option =
-  (* fresh atom ids per run: identical generated code then yields
+  (* fresh atom ids per run — scoped to this job, so parallel draws on
+     a pool never share a counter and identical generated code yields
      identical paths, rotations and tests (tau = 0 determinism) *)
-  Eywa_solver.Term.reset_ids ();
+  Eywa_solver.Term.with_fresh_ids @@ fun () ->
   let gen_start = now () in
   let rec gen acc_funcs acc_src = function
     | [] -> Ok (List.rev acc_funcs, String.concat "\n\n" (List.rev acc_src))
@@ -144,8 +145,12 @@ let synthesize_one oracle config g (main : Emodule.func) order index :
   in
   match gen [] [] order with
   | Error e ->
-      ( { index; c_source = ""; c_loc = 0; compile_error = Some e; tests = [];
-          stats = None; gen_seconds = now () -. gen_start; symex_seconds = 0.0 },
+      (* stage-tagged so parallel failure logs are attributable: this
+         branch covers oracle completions that do not parse or do not
+         define the requested function *)
+      ( { index; c_source = ""; c_loc = 0; compile_error = Some ("oracle: " ^ e);
+          tests = []; stats = None; gen_seconds = now () -. gen_start;
+          symex_seconds = 0.0 },
         None )
   | Ok (funcs, c_source) -> (
       let gen_seconds = now () -. gen_start in
@@ -155,8 +160,8 @@ let synthesize_one oracle config g (main : Emodule.func) order index :
       let program = Harness.build g ~main ~funcs in
       match Typecheck.check program with
       | Error e ->
-          ( { index; c_source; c_loc; compile_error = Some e; tests = [];
-              stats = None; gen_seconds; symex_seconds = 0.0 },
+          ( { index; c_source; c_loc; compile_error = Some ("typecheck: " ^ e);
+              tests = []; stats = None; gen_seconds; symex_seconds = 0.0 },
             None )
       | Ok () ->
           let inputs = Harness.symbolic_inputs ~alphabet:config.alphabet main in
@@ -186,7 +191,7 @@ let synthesize_one oracle config g (main : Emodule.func) order index :
               stats = Some stats; gen_seconds; symex_seconds },
             Some program ))
 
-let run ?(config = default_config) ~oracle g ~main =
+let run ?(config = default_config) ?jobs ~oracle g ~main =
   match main with
   | Emodule.Regex _ | Emodule.Custom _ ->
       Error "Synthesis.run: main must be a Func module"
@@ -194,9 +199,16 @@ let run ?(config = default_config) ~oracle g ~main =
       match Graph.synthesis_order g ~main with
       | Error e -> Error e
       | Ok order ->
+          let jobs =
+            match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
+          in
+          (* the k draws are independent; fan them out and merge by
+             model index, so the result is identical at any [jobs] *)
           let results_and_programs =
-            List.init config.k (fun i ->
-                synthesize_one oracle config g main_f order i)
+            Pool.with_pool ~jobs (fun pool ->
+                Pool.map pool
+                  (fun i -> synthesize_one oracle config g main_f order i)
+                  (List.init config.k (fun i -> i)))
           in
           let results = List.map fst results_and_programs in
           let programs = List.filter_map snd results_and_programs in

@@ -11,7 +11,10 @@
 type config = {
   k : int;  (** number of model implementations to draw (paper: 10) *)
   temperature : float;  (** tau (paper: 0.6) *)
-  timeout : float;  (** per-model symbolic execution wall clock, seconds *)
+  timeout : float;
+      (** per-model symbolic execution budget in "budget seconds" — a
+          deterministic tick budget (see {!Eywa_symex.Exec.config}),
+          so a cut-off model's tests don't depend on machine speed *)
   max_paths : int;
   max_steps : int;
   max_solver_decisions : int;
@@ -30,7 +33,12 @@ type model_result = {
   index : int;
   c_source : string;  (** the generated module implementations *)
   c_loc : int;
-  compile_error : string option;  (** set when this model was skipped *)
+  compile_error : string option;
+      (** set when this model was skipped; prefixed with the failing
+          stage (["oracle: "] for completions that do not parse or do
+          not define the requested function, ["typecheck: "] for
+          assembled programs the checker rejects) so parallel failure
+          logs are attributable *)
   tests : Testcase.t list;
   stats : Eywa_symex.Exec.stats option;
   gen_seconds : float;
@@ -48,13 +56,20 @@ type t = {
 
 val run :
   ?config:config ->
+  ?jobs:int ->
   oracle:Oracle.t ->
   Graph.t ->
   main:Emodule.t ->
   (t, string) result
 (** [Error _] only for structural problems (cyclic call edges, main not
     a Func module); per-model compile errors are recorded in
-    [results]. *)
+    [results].
+
+    [jobs] is the number of pool domains the [k] independent draws fan
+    out over (default {!Pool.default_jobs}, i.e. [EYWA_JOBS] or the
+    core count). Results are merged by model index, so the returned
+    {!t} is bit-for-bit independent of [jobs] — provided the oracle is
+    a pure function of its request, which the simulated LLM is. *)
 
 val replay :
   ?string_bound:int ->

@@ -84,6 +84,24 @@ let report acc =
   in
   { total_tests = acc.total; disagreeing_tests = acc.disagreeing; tuples }
 
+(* Parallel fan-out for the observation loop: computing one test's
+   observations means running every implementation on it, which is the
+   expensive, embarrassingly parallel part. Merging stays sequential
+   and in input order, so reports are identical at any [jobs]. *)
+
+let parallel_map ?jobs f xs =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Eywa_core.Pool.default_jobs ()
+  in
+  Eywa_core.Pool.with_pool ~jobs (fun pool -> Eywa_core.Pool.map pool f xs)
+
+let run ?jobs ~observe tests =
+  let acc = create () in
+  List.iter
+    (function None -> () | Some obs -> ignore (record acc obs))
+    (parallel_map ?jobs observe tests);
+  report acc
+
 let impls_in_report r =
   List.sort_uniq compare (List.map (fun (d, _) -> d.d_impl) r.tuples)
 

@@ -45,6 +45,19 @@ val create : unit -> accum
 val record : accum -> observation list -> disagreement list
 val report : accum -> report
 
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving fan-out over a fresh {!Eywa_core.Pool} of [jobs]
+    domains (default {!Eywa_core.Pool.default_jobs}). Shared by the
+    protocol adapters for their per-test loops, whose per-element work
+    is "run every implementation on this test". *)
+
+val run : ?jobs:int -> observe:('a -> observation list option) -> 'a list -> report
+(** [run ~observe tests] computes every test's observations in
+    parallel ([observe] returning [None] skips the test), then records
+    them {e sequentially in input order} into one accumulator — so the
+    report is identical at any [jobs]. [observe] must be safe to call
+    from concurrent domains. *)
+
 val impls_in_report : report -> string list
 val tuples_for : report -> string -> (disagreement * int) list
 

@@ -12,8 +12,9 @@ exception Fuel_exc
 
 let rt fmt = Printf.ksprintf (fun s -> raise (Runtime_exc s)) fmt
 
-let calls = ref 0
-let call_count () = !calls
+(* atomic: concrete replays may run on several pool domains at once *)
+let calls = Atomic.make 0
+let call_count () = Atomic.get calls
 
 type state = {
   program : Ast.program;
@@ -168,7 +169,7 @@ let rec eval st (e : Ast.expr) : Value.t =
 
 and eval_call st name args =
   tick st;
-  incr calls;
+  Atomic.incr calls;
   match (name, args) with
   | "strlen", [ s ] -> Value.Vint (c_strlen (as_string s))
   | "strcmp", [ a; b ] -> Value.Vint (c_strcmp (as_string a) (as_string b))

@@ -203,46 +203,38 @@ let observations_for ~model_id (test : Testcase.t) =
     match obs with [] -> None | _ -> Some obs
   end
 
-let run ~model_id tests =
-  let acc = Difftest.create () in
-  List.iter
-    (fun test ->
-      match observations_for ~model_id test with
-      | None -> ()
-      | Some obs -> ignore (Difftest.record acc obs))
-    tests;
-  Difftest.report acc
+let run ?jobs ~model_id tests =
+  Difftest.run ?jobs ~observe:(observations_for ~model_id) tests
 
-let quirks_triggered ~model_ids_and_tests =
+(* Quirk attribution for one test (pure, pool-safe): a disagreement
+   anywhere prompts attribution for every implementation — majority
+   voting alone cannot name the culprit when the bug is shared. *)
+let quirks_for_test ~model_id (test : Testcase.t) =
+  match observations_for ~model_id test with
+  | None -> []
+  | Some obs ->
+      if Difftest.compare_all obs = [] then []
+      else
+        List.concat_map
+          (fun impl ->
+            let active = Bgp.Impls.quirks impl in
+            let with_all = scenario ~model_id test active in
+            List.filter_map
+              (fun q ->
+                let without =
+                  scenario ~model_id test (List.filter (fun x -> x <> q) active)
+                in
+                if without <> with_all then Some (impl.Bgp.Impls.name, q)
+                else None)
+              active)
+          Bgp.Impls.all
+
+let quirks_triggered ?jobs model_ids_and_tests =
   let found = ref [] in
-  let note impl quirk =
-    if not (List.mem (impl, quirk) !found) then found := !found @ [ (impl, quirk) ]
-  in
+  let note pair = if not (List.mem pair !found) then found := !found @ [ pair ] in
   List.iter
     (fun (model_id, tests) ->
-      List.iter
-        (fun (test : Testcase.t) ->
-          match observations_for ~model_id test with
-          | None -> ()
-          | Some obs ->
-              let disagreements = Difftest.compare_all obs in
-              (* A disagreement anywhere on this test prompts quirk
-                 attribution for every implementation — majority voting
-                 alone cannot name the culprit when the bug is shared. *)
-              if disagreements <> [] then
-                List.iter
-                  (fun impl ->
-                    let active = Bgp.Impls.quirks impl in
-                    let with_all = scenario ~model_id test active in
-                    List.iter
-                      (fun q ->
-                        let without =
-                          scenario ~model_id test
-                            (List.filter (fun x -> x <> q) active)
-                        in
-                        if without <> with_all then note impl.Bgp.Impls.name q)
-                      active)
-                  Bgp.Impls.all)
-        tests)
+      List.iter (List.iter note)
+        (Difftest.parallel_map ?jobs (quirks_for_test ~model_id) tests))
     model_ids_and_tests;
   !found

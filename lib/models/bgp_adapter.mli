@@ -11,10 +11,16 @@ val observations_for :
   model_id:string -> Eywa_core.Testcase.t -> Eywa_difftest.Difftest.observation list option
 
 val run :
-  model_id:string -> Eywa_core.Testcase.t list -> Eywa_difftest.Difftest.report
+  ?jobs:int ->
+  model_id:string ->
+  Eywa_core.Testcase.t list ->
+  Eywa_difftest.Difftest.report
+(** Per-test observations fan out over a [jobs]-domain pool and merge
+    in input order; the report is identical at any [jobs]. *)
 
 val quirks_triggered :
-  model_ids_and_tests:(string * Eywa_core.Testcase.t list) list ->
+  ?jobs:int ->
+  (string * Eywa_core.Testcase.t list) list ->
   (string * Eywa_bgp.Quirks.t) list
 (** Root-cause attribution by quirk removal, as in
     {!Dns_adapter.quirks_triggered}. *)

@@ -64,59 +64,49 @@ let observations_for ~model_id ~version test =
                fields = fields_of_outcome outcome })
            Dns.Impls.all)
 
-let run ~model_id ~version tests =
-  let acc = Difftest.create () in
-  List.iter
-    (fun test ->
-      match observations_for ~model_id ~version test with
-      | None -> ()
-      | Some obs -> ignore (Difftest.record acc obs))
-    tests;
-  Difftest.report acc
+let run ?jobs ~model_id ~version tests =
+  Difftest.run ?jobs ~observe:(observations_for ~model_id ~version) tests
 
-let quirks_triggered ~version ~model_ids_and_tests =
+(* Quirk attribution for one test: which (impl, quirk) pairs change
+   behaviour on it. Pure, so the per-test loop fans out on the pool;
+   the dedup into first-occurrence order stays sequential. *)
+let quirks_for_test ~version ~model_id test =
+  match artifacts_for ~model_id test with
+  | None -> []
+  | Some (zone, query) ->
+      let fieldss =
+        List.map
+          (fun impl ->
+            { Difftest.impl = impl.Dns.Impls.name;
+              fields = fields_of_outcome (Dns.Impls.serve impl version zone query) })
+          Dns.Impls.all
+      in
+      let disagreements = Difftest.compare_all fieldss in
+      List.concat_map
+        (fun (d : Difftest.disagreement) ->
+          match Dns.Impls.find d.d_impl with
+          | None -> []
+          | Some impl ->
+              let active = Dns.Impls.quirks impl version in
+              let with_all = Dns.Lookup.lookup ~quirks:active zone query in
+              List.filter_map
+                (fun q ->
+                  let without =
+                    Dns.Lookup.lookup
+                      ~quirks:(List.filter (fun x -> x <> q) active)
+                      zone query
+                  in
+                  if without <> with_all then Some (impl.Dns.Impls.name, q)
+                  else None)
+                active)
+        disagreements
+
+let quirks_triggered ?jobs ~version model_ids_and_tests =
   let found = ref [] in
-  let note impl quirk =
-    if not (List.mem (impl, quirk) !found) then found := !found @ [ (impl, quirk) ]
-  in
+  let note pair = if not (List.mem pair !found) then found := !found @ [ pair ] in
   List.iter
     (fun (model_id, tests) ->
-      List.iter
-        (fun test ->
-          match artifacts_for ~model_id test with
-          | None -> ()
-          | Some (zone, query) ->
-              let outcomes =
-                List.map
-                  (fun impl ->
-                    (impl, Dns.Impls.serve impl version zone query))
-                  Dns.Impls.all
-              in
-              let fieldss =
-                List.map
-                  (fun (impl, o) ->
-                    { Difftest.impl = impl.Dns.Impls.name;
-                      fields = fields_of_outcome o })
-                  outcomes
-              in
-              let disagreements = Difftest.compare_all fieldss in
-              List.iter
-                (fun (d : Difftest.disagreement) ->
-                  match Dns.Impls.find d.d_impl with
-                  | None -> ()
-                  | Some impl ->
-                      let active = Dns.Impls.quirks impl version in
-                      let with_all = Dns.Lookup.lookup ~quirks:active zone query in
-                      List.iter
-                        (fun q ->
-                          let without =
-                            Dns.Lookup.lookup
-                              ~quirks:(List.filter (fun x -> x <> q) active)
-                              zone query
-                          in
-                          if without <> with_all then note impl.Dns.Impls.name q)
-                        active)
-                disagreements)
-        tests)
+      List.iter (List.iter note)
+        (Difftest.parallel_map ?jobs (quirks_for_test ~version ~model_id) tests))
     model_ids_and_tests;
   !found

@@ -24,14 +24,19 @@ val observations_for :
   Eywa_difftest.Difftest.observation list option
 
 val run :
+  ?jobs:int ->
   model_id:string ->
   version:Eywa_dns.Impls.version ->
   Eywa_core.Testcase.t list ->
   Eywa_difftest.Difftest.report
+(** Per-test observations are computed on a [jobs]-domain pool
+    (default {!Eywa_core.Pool.default_jobs}) and merged in input
+    order, so the report is identical at any [jobs]. *)
 
 val quirks_triggered :
+  ?jobs:int ->
   version:Eywa_dns.Impls.version ->
-  model_ids_and_tests:(string * Eywa_core.Testcase.t list) list ->
+  (string * Eywa_core.Testcase.t list) list ->
   (string * Eywa_dns.Lookup.quirk) list
 (** Root-cause attribution: for every disagreeing (implementation,
     test), re-serve the query with each of the implementation's quirks

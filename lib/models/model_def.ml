@@ -9,7 +9,7 @@ type t = {
 }
 
 let synthesize ?(k = 10) ?(temperature = 0.6) ?(seed = 42) ?timeout ?max_paths
-    ~oracle t =
+    ?jobs ~oracle t =
   let config =
     {
       Eywa_core.Synthesis.default_config with
@@ -23,4 +23,4 @@ let synthesize ?(k = 10) ?(temperature = 0.6) ?(seed = 42) ?timeout ?max_paths
   let config =
     match max_paths with Some n -> { config with max_paths = n } | None -> config
   in
-  Eywa_core.Synthesis.run ~config ~oracle t.graph ~main:t.main
+  Eywa_core.Synthesis.run ~config ?jobs ~oracle t.graph ~main:t.main

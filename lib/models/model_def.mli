@@ -17,9 +17,12 @@ val synthesize :
   ?seed:int ->
   ?timeout:float ->
   ?max_paths:int ->
+  ?jobs:int ->
   oracle:Eywa_core.Oracle.t ->
   t ->
   (Eywa_core.Synthesis.t, string) result
 (** Run the full pipeline with this model's alphabet; [timeout] and
     [max_paths] override the model's defaults (tests and sweeps use
-    small budgets). *)
+    small budgets). [jobs] fans the [k] draws out over a domain pool
+    (see {!Eywa_core.Synthesis.run}); the result is identical at any
+    value. *)

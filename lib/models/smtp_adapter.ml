@@ -36,52 +36,44 @@ let observations_for ~graph (test : Testcase.t) =
            Smtp.Impls.all)
   end
 
-let run ~graph tests =
-  let acc = Difftest.create () in
-  List.iter
-    (fun test ->
-      match observations_for ~graph test with
-      | None -> ()
-      | Some obs -> ignore (Difftest.record acc obs))
-    tests;
-  Difftest.report acc
+let run ?jobs ~graph tests =
+  Difftest.run ?jobs ~observe:(observations_for ~graph) tests
 
-let quirks_triggered ~graph tests =
+(* Quirk attribution for one test (pure, pool-safe). *)
+let quirks_for_test ~graph (test : Testcase.t) =
+  match observations_for ~graph test with
+  | None -> []
+  | Some obs ->
+      let disagreements = Difftest.compare_all obs in
+      List.concat_map
+        (fun (d : Difftest.disagreement) ->
+          match Smtp.Impls.find d.d_impl with
+          | None -> []
+          | Some impl ->
+              let state = Smtp_models.test_state test in
+              let input = Smtp_models.test_input test in
+              let active = Smtp.Impls.quirks impl in
+              let reply_with quirks =
+                match Stategraph.path_to graph ~start:"INITIAL" ~goal:state with
+                | None -> None
+                | Some prefix ->
+                    let commands =
+                      List.map Smtp.Machine.command_of_letter (prefix @ [ input ])
+                    in
+                    Some (Smtp.Machine.run_session ~quirks commands)
+              in
+              let with_all = reply_with active in
+              List.filter_map
+                (fun q ->
+                  let without = reply_with (List.filter (fun x -> x <> q) active) in
+                  if without <> with_all then Some (impl.Smtp.Impls.name, q)
+                  else None)
+                active)
+        disagreements
+
+let quirks_triggered ?jobs ~graph tests =
   let found = ref [] in
-  let note impl quirk =
-    if not (List.mem (impl, quirk) !found) then found := !found @ [ (impl, quirk) ]
-  in
-  List.iter
-    (fun (test : Testcase.t) ->
-      match observations_for ~graph test with
-      | None -> ()
-      | Some obs ->
-          let disagreements = Difftest.compare_all obs in
-          List.iter
-            (fun (d : Difftest.disagreement) ->
-              match Smtp.Impls.find d.d_impl with
-              | None -> ()
-              | Some impl ->
-                  let state = Smtp_models.test_state test in
-                  let input = Smtp_models.test_input test in
-                  let active = Smtp.Impls.quirks impl in
-                  let reply_with quirks =
-                    match Stategraph.path_to graph ~start:"INITIAL" ~goal:state with
-                    | None -> None
-                    | Some prefix ->
-                        let commands =
-                          List.map Smtp.Machine.command_of_letter (prefix @ [ input ])
-                        in
-                        Some (Smtp.Machine.run_session ~quirks commands)
-                  in
-                  let with_all = reply_with active in
-                  List.iter
-                    (fun q ->
-                      let without =
-                        reply_with (List.filter (fun x -> x <> q) active)
-                      in
-                      if without <> with_all then note impl.Smtp.Impls.name q)
-                    active)
-            disagreements)
-    tests;
+  let note pair = if not (List.mem pair !found) then found := !found @ [ pair ] in
+  List.iter (List.iter note)
+    (Difftest.parallel_map ?jobs (quirks_for_test ~graph) tests);
   !found

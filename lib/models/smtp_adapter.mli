@@ -18,11 +18,15 @@ val observations_for :
   Eywa_difftest.Difftest.observation list option
 
 val run :
+  ?jobs:int ->
   graph:Eywa_stategraph.Stategraph.t ->
   Eywa_core.Testcase.t list ->
   Eywa_difftest.Difftest.report
+(** Per-test observations fan out over a [jobs]-domain pool and merge
+    in input order; the report is identical at any [jobs]. *)
 
 val quirks_triggered :
+  ?jobs:int ->
   graph:Eywa_stategraph.Stategraph.t ->
   Eywa_core.Testcase.t list ->
   (string * Eywa_smtp.Machine.quirk) list

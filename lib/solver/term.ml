@@ -18,17 +18,29 @@ type t =
   | Mod of t * t
   | Ite of t * t * t
 
-let counter = ref 0
+(* Id allocation is per-domain (Domain.DLS), not global: concurrent
+   synthesis jobs on a work-pool never share a counter, so identical
+   generated code yields identical atom ids whatever domain runs it.
+   [with_fresh_ids] gives one job its own allocator starting at 0. *)
+let counter_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let counter () = Domain.DLS.get counter_key
 
 let fresh_var ?(name = "v") sort domain =
   assert (Array.length domain > 0);
-  let vid = !counter in
-  incr counter;
+  let c = counter () in
+  let vid = !c in
+  incr c;
   { vid; vname = name; sort; domain }
 
-let var_count () = !counter
+let var_count () = !(counter ())
 
-let reset_ids () = counter := 0
+let reset_ids () = counter () := 0
+
+let with_fresh_ids f =
+  let saved = Domain.DLS.get counter_key in
+  Domain.DLS.set counter_key (ref 0);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set counter_key saved) f
 
 let default_domain = function
   | Sbool -> [| 0; 1 |]

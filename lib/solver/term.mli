@@ -38,18 +38,29 @@ type t =
   | Mod of t * t  (** total: modulo zero yields 0 *)
   | Ite of t * t * t
 
-(** Variable creation. Ids are drawn from a global counter so that
-    assignments can be stored in flat arrays. *)
+(** Variable creation. Ids are dense from 0 so that assignments can be
+    stored in flat arrays. The counter is {e per-domain}
+    ([Domain.DLS]), never shared between domains: parallel synthesis
+    jobs each allocate from their own counter, so identical generated
+    code produces identical atoms regardless of which pool worker runs
+    it. *)
 
 val fresh_var : ?name:string -> sort -> int array -> var
 val var_count : unit -> int
 
+val with_fresh_ids : (unit -> 'a) -> 'a
+(** [with_fresh_ids f] runs [f] with a fresh id allocator starting at
+    0, restoring the caller's allocator afterwards (also on raise).
+    The synthesis pipeline wraps every model run in this so identical
+    models produce identical atoms — and therefore identical value
+    rotations and identical test samples — at any pool size. Never
+    call it in the middle of building or solving a constraint
+    system. *)
+
 val reset_ids : unit -> unit
-(** Restart the id counter. The synthesis pipeline resets it at the
-    start of every model run so that identical models produce identical
-    atoms — and therefore identical value rotations and identical test
-    samples. Never reset in the middle of building or solving a
-    constraint system. *)
+(** Restart the calling domain's id counter. Compatibility shim for
+    sequential (jobs = 1) callers and tests; new code should prefer
+    {!with_fresh_ids}, which scopes and restores the allocator. *)
 
 (** Default domains per sort: [0;1] for booleans, the full enum index
     range for enums, [0 .. 2^width-1] for ints (width capped at 16 to

@@ -38,7 +38,7 @@ type ctx = {
   program : Ast.program;
   config : config;
   natives : (string * (Sv.t list -> Sv.t)) list;
-  started : float;
+  mutable checks : int;
   mutable results : path list;
   mutable completed : int;
   mutable pruned : int;
@@ -53,21 +53,43 @@ type st = {
   steps : int;
 }
 
-let now () = Unix.gettimeofday ()
+(* One budget-second buys [ticks_per_second] exploration ticks. Every
+   budget probe costs one tick; every solver call costs
+   decisions * (1 + pc size) / [work_per_tick] ticks — the search
+   re-evaluates the whole path condition per decision, so that product
+   tracks its real cost. Both rates are calibrated to roughly one
+   wall-clock second per budget-second on a commodity core. A wall
+   clock here would make a timed-out model's test set depend on
+   machine speed and pool contention; the tick budget keeps the
+   paper's Klee-budget shape — heavy models still cut off, reported as
+   [timed_out] — while staying a deterministic function of the inputs
+   alone, so jobs=1 and jobs=N agree. *)
+let ticks_per_second = 50_000.
+let work_per_tick = 600
 
 let check_budget ctx =
   if not ctx.stop then begin
+    ctx.checks <- ctx.checks + 1;
     if ctx.completed >= ctx.config.max_paths then ctx.stop <- true
-    else if now () -. ctx.started > ctx.config.timeout then begin
+    else if float_of_int ctx.checks > ctx.config.timeout *. ticks_per_second
+    then begin
       ctx.stop <- true;
       ctx.timed_out <- true
     end
   end;
   ctx.stop
 
+let charge_solver ctx (stats : Solve.stats) pc =
+  ctx.checks <-
+    ctx.checks + (stats.decisions * (1 + List.length pc) / work_per_tick)
+
 let is_sat ctx pc =
   ctx.solver_calls <- ctx.solver_calls + 1;
-  Solve.is_sat ~max_decisions:ctx.config.max_solver_decisions pc
+  let outcome, stats =
+    Solve.solve_with_stats ~max_decisions:ctx.config.max_solver_decisions pc
+  in
+  charge_solver ctx stats pc;
+  match outcome with Solve.Sat _ -> true | Solve.Unsat | Solve.Unknown -> false
 
 (* ----- environment (persistent) ----- *)
 
@@ -108,10 +130,12 @@ let pop_scope st =
 let complete ctx st ~ret ~error =
   if not (check_budget ctx) then begin
     ctx.solver_calls <- ctx.solver_calls + 1;
-    match
-      Solve.solve ~max_decisions:ctx.config.max_solver_decisions
+    let outcome, stats =
+      Solve.solve_with_stats ~max_decisions:ctx.config.max_solver_decisions
         ~rotate:ctx.completed st.pc
-    with
+    in
+    charge_solver ctx stats st.pc;
+    match outcome with
     | Solve.Sat model ->
         ctx.completed <- ctx.completed + 1;
         ctx.results <- { model; pc = st.pc; ret; error } :: ctx.results
@@ -582,7 +606,7 @@ let run ?(config = default_config) ?(natives = []) program ~entry ~args ~assumes
       program;
       config;
       natives;
-      started = now ();
+      checks = 0;
       results = [];
       completed = 0;
       pruned = 0;

@@ -19,7 +19,12 @@ module Solve = Eywa_solver.Solve
 type config = {
   max_paths : int;  (** stop after this many completed paths *)
   max_steps : int;  (** per-path statement budget *)
-  timeout : float;  (** wall-clock seconds for the whole exploration *)
+  timeout : float;
+      (** exploration budget in "budget seconds" — a deterministic tick
+          budget calibrated to roughly one wall-clock second per unit
+          on a commodity core, so the cut-off (and hence the test set
+          of a timed-out model) is a function of the inputs alone,
+          independent of machine speed or pool contention *)
   max_solver_decisions : int;
   string_bound : int;  (** buffer size for locally declared strings *)
 }

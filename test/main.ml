@@ -17,4 +17,5 @@ let () =
       ("server", Test_server.suite);
       ("edge", Test_edge.suite);
       ("report", Test_report.suite);
+      ("parallel", Test_parallel.suite);
     ]

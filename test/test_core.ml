@@ -277,12 +277,14 @@ let test_synthesis_canned () =
 
 let test_synthesis_skips_bad_models () =
   let g, ra, _ = fig1_setup () in
-  let calls = ref 0 in
   let oracle =
+    (* fail every completion of model index 0 (request seed = base_seed),
+       succeed for the rest; keyed on the request rather than a call
+       counter so the oracle stays a pure function of its input and the
+       test is deterministic when the k draws run on a domain pool *)
     Oracle.make ~name:"flaky" (fun req ->
-        incr calls;
-        (* fail the first model's helper completion, succeed afterwards *)
-        if !calls = 1 then "this is not C at all {{{"
+        if req.Oracle.seed = Synthesis.default_config.base_seed then
+          "this is not C at all {{{"
         else if contains ~needle:"int seed_marker" req.user then ""
         else canned_completion)
   in

@@ -105,7 +105,7 @@ let test_dns_difftest_finds_knot_bug () =
   let result = Lazy.force dname_synth in
   let found =
     Dns_adapter.quirks_triggered ~version:Eywa_dns.Impls.Old
-      ~model_ids_and_tests:[ ("DNAME", result.unique_tests) ]
+      [ ("DNAME", result.unique_tests) ]
   in
   check "knot DNAME owner bug found" true
     (List.mem ("knot", Eywa_dns.Lookup.Dname_name_replaced_by_query) found);
@@ -132,7 +132,7 @@ let test_bgp_confed_difftest () =
   | Ok result ->
       let found =
         Bgp_adapter.quirks_triggered
-          ~model_ids_and_tests:[ ("CONFED", result.unique_tests) ]
+          [ ("CONFED", result.unique_tests) ]
       in
       check "sub-AS collision found on frr" true
         (List.mem ("frr", Eywa_bgp.Quirks.Confed_sub_as_eq_peer) found);
@@ -151,7 +151,7 @@ let test_bgp_rmap_pl_difftest () =
         (List.exists (fun (t : Testcase.t) -> t.bad_input) result.unique_tests);
       let found =
         Bgp_adapter.quirks_triggered
-          ~model_ids_and_tests:[ ("RMAP-PL", result.unique_tests) ]
+          [ ("RMAP-PL", result.unique_tests) ]
       in
       check "frr prefix-list bug found" true
         (List.mem ("frr", Eywa_bgp.Quirks.Prefix_list_ge_match) found)
@@ -165,7 +165,7 @@ let test_bgp_rr_only_local_pref () =
   | Ok result ->
       let found =
         Bgp_adapter.quirks_triggered
-          ~model_ids_and_tests:[ ("RR", result.unique_tests) ]
+          [ ("RR", result.unique_tests) ]
       in
       check "only the local-pref quirk can fire" true
         (List.for_all

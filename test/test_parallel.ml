@@ -1,0 +1,170 @@
+(* The PR-1 determinism contract: the domain pool is an implementation
+   detail. Synthesis, difftest, and quirk attribution must produce
+   bit-for-bit the same answer at jobs=1 and jobs=4; Pool.map itself
+   must preserve input order and surface the sequentially-first
+   exception.
+
+   The symex budget is a deterministic tick count, so even a model
+   that exhausts it must agree across pool sizes; the generous budget
+   here just keeps these models on their fast, complete paths. *)
+
+module Pool = Eywa_core.Pool
+module Term = Eywa_solver.Term
+module Model_def = Eywa_models.Model_def
+module Dns_models = Eywa_models.Dns_models
+module Bgp_models = Eywa_models.Bgp_models
+module Smtp_models = Eywa_models.Smtp_models
+module Synthesis = Eywa_core.Synthesis
+module Testcase = Eywa_core.Testcase
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let oracle = Eywa_llm.Gpt.oracle ()
+
+(* Everything observable about a synthesis except wall-clock fields. *)
+let fingerprint (s : Synthesis.t) =
+  String.concat "\n"
+    (Printf.sprintf "loc=%d/%d programs=%d" s.loc_min s.loc_max
+       (List.length s.programs)
+     :: List.map Testcase.to_string s.unique_tests
+    @ List.concat_map
+        (fun (r : Synthesis.model_result) ->
+          Printf.sprintf "model %d loc=%d err=%s" r.index r.c_loc
+            (Option.value ~default:"-" r.compile_error)
+          :: List.map Testcase.to_string r.tests)
+        s.results)
+
+let synth ~jobs model =
+  match Model_def.synthesize ~k:4 ~timeout:10.0 ~jobs ~oracle model with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+let assert_jobs_invariant (m : Model_def.t) =
+  let s1 = synth ~jobs:1 m in
+  let s4 = synth ~jobs:4 m in
+  Alcotest.(check string)
+    (m.id ^ " fingerprint jobs=1 = jobs=4")
+    (fingerprint s1) (fingerprint s4);
+  check_int (m.id ^ " unique test count")
+    (List.length s1.unique_tests)
+    (List.length s4.unique_tests);
+  check_int (m.id ^ " loc_min") s1.loc_min s4.loc_min;
+  check_int (m.id ^ " loc_max") s1.loc_max s4.loc_max
+
+let test_dns_jobs_invariant () = assert_jobs_invariant Dns_models.cname
+let test_bgp_jobs_invariant () = assert_jobs_invariant Bgp_models.rr
+let test_smtp_jobs_invariant () = assert_jobs_invariant Smtp_models.server
+
+let test_difftest_jobs_invariant () =
+  let s = synth ~jobs:4 Dns_models.cname in
+  let run jobs =
+    Format.asprintf "%a" Eywa_difftest.Difftest.pp_report
+      (Eywa_models.Dns_adapter.run ~jobs ~model_id:"CNAME"
+         ~version:Eywa_dns.Impls.Old s.unique_tests)
+  in
+  Alcotest.(check string) "difftest report jobs=1 = jobs=4" (run 1) (run 4)
+
+let test_quirks_jobs_invariant () =
+  let s = synth ~jobs:4 Dns_models.cname in
+  let quirks jobs =
+    Eywa_models.Dns_adapter.quirks_triggered ~jobs ~version:Eywa_dns.Impls.Old
+      [ ("CNAME", s.unique_tests) ]
+  in
+  check "quirk attribution jobs=1 = jobs=4" true (quirks 1 = quirks 4)
+
+(* ----- Pool.map semantics ----- *)
+
+exception Boom of int
+
+let pool_map_preserves_order =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100
+       ~name:"Pool.map f xs = List.map f xs, in order, for jobs in 1..4"
+       QCheck2.Gen.(pair (int_range 1 4) (list_size (int_range 0 40) small_int))
+       (fun (jobs, xs) ->
+         let f x = (x * 31) + (x mod 7) in
+         Pool.with_pool ~jobs (fun pool -> Pool.map pool f xs) = List.map f xs))
+
+let pool_map_first_exception =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100
+       ~name:"Pool.map raises the smallest failing index's exception"
+       QCheck2.Gen.(
+         triple (int_range 1 4) (int_range 0 20)
+           (list_size (int_range 1 20) (int_range 0 19)))
+       (fun (jobs, len, bad) ->
+         let xs = List.init (len + List.fold_left max 0 bad + 1) Fun.id in
+         let f i = if List.mem i bad then raise (Boom i) else i in
+         let expected = List.fold_left min max_int bad in
+         match Pool.with_pool ~jobs (fun pool -> Pool.map pool f xs) with
+         | _ -> false
+         | exception Boom i -> i = expected))
+
+let test_pool_nested_map_inline () =
+  (* map from inside a worker must not deadlock: it runs inline *)
+  let outer =
+    Pool.with_pool ~jobs:2 (fun pool ->
+        Pool.map pool
+          (fun i ->
+            Pool.with_pool ~jobs:2 (fun inner ->
+                Pool.map inner (fun j -> (10 * i) + j) [ 1; 2; 3 ]))
+          [ 1; 2 ])
+  in
+  check "nested pools compute the right thing" true
+    (outer = [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ])
+
+let test_pool_default_jobs_positive () =
+  check "default_jobs >= 1" true (Pool.default_jobs () >= 1)
+
+(* ----- per-domain term ids ----- *)
+
+let test_with_fresh_ids_isolates () =
+  Term.reset_ids ();
+  let v0 = Term.fresh_var (Term.Sint 2) [| 0; 1 |] in
+  let inner =
+    Term.with_fresh_ids (fun () ->
+        let w = Term.fresh_var (Term.Sint 2) [| 0; 1 |] in
+        w.Term.vid)
+  in
+  let v1 = Term.fresh_var (Term.Sint 2) [| 0; 1 |] in
+  check_int "outer first id" 0 v0.Term.vid;
+  check_int "inner restarts at 0" 0 inner;
+  check_int "outer counter unaffected by inner scope" 1 v1.Term.vid
+
+let test_fresh_ids_per_domain () =
+  (* each pool worker allocates from its own dense counter *)
+  let ids =
+    Pool.with_pool ~jobs:4 (fun pool ->
+        Pool.map pool
+          (fun _ ->
+            Term.with_fresh_ids (fun () ->
+                let a = Term.fresh_var (Term.Sint 2) [| 0; 1 |] in
+                let b = Term.fresh_var (Term.Sint 2) [| 0; 1 |] in
+                (a.Term.vid, b.Term.vid)))
+          [ 0; 1; 2; 3 ])
+  in
+  check "every domain's ids are dense from 0" true
+    (List.for_all (fun p -> p = (0, 1)) ids)
+
+let suite =
+  [
+    Alcotest.test_case "DNS CNAME: jobs=1 = jobs=4" `Slow test_dns_jobs_invariant;
+    Alcotest.test_case "BGP RR: jobs=1 = jobs=4" `Slow test_bgp_jobs_invariant;
+    Alcotest.test_case "SMTP SERVER: jobs=1 = jobs=4" `Slow
+      test_smtp_jobs_invariant;
+    Alcotest.test_case "difftest report: jobs=1 = jobs=4" `Slow
+      test_difftest_jobs_invariant;
+    Alcotest.test_case "quirk attribution: jobs=1 = jobs=4" `Slow
+      test_quirks_jobs_invariant;
+    pool_map_preserves_order;
+    pool_map_first_exception;
+    Alcotest.test_case "nested Pool.map runs inline" `Quick
+      test_pool_nested_map_inline;
+    Alcotest.test_case "default_jobs is positive" `Quick
+      test_pool_default_jobs_positive;
+    Alcotest.test_case "with_fresh_ids isolates the counter" `Quick
+      test_with_fresh_ids_isolates;
+    Alcotest.test_case "pool workers get dense ids from 0" `Quick
+      test_fresh_ids_per_domain;
+  ]
