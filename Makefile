@@ -1,0 +1,36 @@
+# Development entry points. `make check` is the PR gate: everything
+# builds, every test passes, and formatting is clean.
+
+.PHONY: all build test fmt fmt-apply check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# dune's @fmt covers dune files (always available); OCaml sources are
+# checked only when ocamlformat is installed, since the container
+# image does not bake it in.
+fmt:
+	dune build @fmt
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  echo "checking OCaml formatting"; \
+	  dune build @fmt --auto-promote 2>/dev/null || true; \
+	  git diff --exit-code -- '*.ml' '*.mli'; \
+	else \
+	  echo "ocamlformat not installed; skipping OCaml source check"; \
+	fi
+
+fmt-apply:
+	dune build @fmt --auto-promote || true
+
+check: build test fmt
+
+bench:
+	dune exec bench/main.exe -- fast
+
+clean:
+	dune clean

@@ -11,8 +11,11 @@
 
    Run with no argument to execute everything in order. Pass [fast] as
    a final argument for a quick smoke-scale run; [--jobs N] sizes the
-   domain pools and [--json PATH] writes the parallel stage's
-   measurements as JSON. Counts reproduce the
+   domain pools, [--json PATH] writes the parallel stage's
+   measurements as JSON, [--cache-dir DIR] persists the synthesis
+   cache on disk, and [--summary-json PATH] writes per-stage
+   instrumentation totals (ticks, cache hits/misses) after the run.
+   Counts reproduce the
    paper's *shape* (relative sizes, who hits the timeout, diminishing
    returns around k = 10), not its absolute numbers: the substrate here
    is the built-in symbolic executor and bug-seeded reference
@@ -24,6 +27,9 @@ module Dns_adapter = Eywa_models.Dns_adapter
 module Bgp_adapter = Eywa_models.Bgp_adapter
 module Smtp_adapter = Eywa_models.Smtp_adapter
 module Synthesis = Eywa_core.Synthesis
+module Pipeline = Eywa_core.Pipeline
+module Cache = Eywa_core.Cache
+module Instrument = Eywa_core.Instrument
 module Testcase = Eywa_core.Testcase
 module Difftest = Eywa_difftest.Difftest
 
@@ -34,27 +40,40 @@ type scale = { k : int; timeout_scale : float; fig10_max_k : int; fig10_seeds : 
 let full_scale = { k = 10; timeout_scale = 0.5; fig10_max_k = 12; fig10_seeds = 2 }
 let fast_scale = { k = 3; timeout_scale = 0.1; fig10_max_k = 6; fig10_seeds = 1 }
 
-(* --jobs N / --json PATH, set by the driver before any stage runs *)
+(* --jobs N / --json PATH / --cache-dir DIR / --summary-json PATH,
+   set by the driver before any stage runs *)
 let jobs : int option ref = ref None
 let json_path : string option ref = ref None
+let cache_dir : string option ref = ref None
+let summary_json : string option ref = ref None
 
-(* ----- shared synthesis cache ----- *)
+(* ----- shared synthesis cache + instrumentation ----- *)
 
-let cache : (string, Synthesis.t) Hashtbl.t = Hashtbl.create 16
+(* One content-addressed cache for the whole run: table2, table3,
+   fig10 and timing all re-synthesize the same models, and every draw
+   after the first is a hit. With --cache-dir it also survives across
+   bench invocations. *)
+let the_cache : Cache.t option ref = ref None
+
+let cache () =
+  match !the_cache with
+  | Some c -> c
+  | None ->
+      let c = Cache.create ?dir:!cache_dir () in
+      the_cache := Some c;
+      c
+
+let collector = Instrument.Collector.create ()
+let sink = Instrument.Collector.sink collector
 
 let synthesize scale (m : Model_def.t) =
-  match Hashtbl.find_opt cache m.id with
-  | Some s -> s
-  | None -> (
-      match
-        Model_def.synthesize ~k:scale.k
-          ~timeout:(Float.max 1.0 (m.timeout *. scale.timeout_scale))
-          ?jobs:!jobs ~oracle m
-      with
-      | Ok s ->
-          Hashtbl.replace cache m.id s;
-          s
-      | Error e -> failwith (m.id ^ ": " ^ e))
+  match
+    Model_def.synthesize ~cache:(cache ()) ~sink ~k:scale.k
+      ~timeout:(Float.max 1.0 (m.timeout *. scale.timeout_scale))
+      ?jobs:!jobs ~oracle m
+  with
+  | Ok s -> s
+  | Error e -> failwith (m.id ^ ": " ^ e)
 
 let line = String.make 78 '-'
 
@@ -202,7 +221,8 @@ let fig10 scale =
           let per_seed =
             List.init scale.fig10_seeds (fun seed ->
                 match
-                  Model_def.synthesize ~k:scale.fig10_max_k ~temperature:tau
+                  Model_def.synthesize ~cache:(cache ()) ~sink
+                    ~k:scale.fig10_max_k ~temperature:tau
                     ~seed:(100 * (seed + 1)) ~timeout:2.0 ?jobs:!jobs ~oracle m
                 with
                 | Ok s ->
@@ -234,10 +254,13 @@ let fig10 scale =
 
 (* ----- timing (§4.3 result 1) ----- *)
 
+(* Wall seconds are machine-dependent; the tick column is the symex
+   budget counter (Exec.stats.ticks_used) — deterministic in the
+   inputs, so comparable across hosts and identical on cache hits. *)
 let timing scale =
   Printf.printf "\n%s\nRunning time (paper §4.3 result 1)\n%s\n" line line;
-  Printf.printf "%-11s %14s %14s %10s %10s\n" "Model" "gen total (s)"
-    "symex total(s)" "paths" "timed out";
+  Printf.printf "%-11s %14s %14s %12s %10s %10s\n" "Model" "gen total (s)"
+    "symex total(s)" "symex ticks" "paths" "timed out";
   List.iter
     (fun (m : Model_def.t) ->
       let s = synthesize scale m in
@@ -250,17 +273,25 @@ let timing scale =
           (fun acc (r : Synthesis.model_result) -> acc +. r.symex_seconds)
           0.0 s.results
       in
-      let paths, timed_out =
+      let paths, ticks, timed_out =
         List.fold_left
-          (fun (p, t) (r : Synthesis.model_result) ->
+          (fun (p, k, t) (r : Synthesis.model_result) ->
             match r.stats with
             | Some st -> (p + st.Eywa_symex.Exec.paths_completed,
+                          k + st.Eywa_symex.Exec.ticks_used,
                           t || st.Eywa_symex.Exec.timed_out)
-            | None -> (p, t))
-          (0, false) s.results
+            | None -> (p, k, t))
+          (0, 0, false) s.results
       in
-      Printf.printf "%-11s %14.2f %14.2f %10d %10b\n" m.id gen sym paths timed_out)
+      Printf.printf "%-11s %14.2f %14.2f %12d %10d %10b\n" m.id gen sym ticks
+        paths timed_out)
     All.all;
+  let c = cache () in
+  Printf.printf "synthesis cache: %d hits, %d misses this run\n" (Cache.hits c)
+    (Cache.misses c);
+  print_endline
+    (Format.asprintf "%a" Instrument.Collector.pp_summary
+       (Instrument.Collector.summary collector));
   Printf.printf
     "(paper: each LLM query < 20 s; Klee 5-10 s on small models, 5-minute \
      timeout on FULLLOOKUP/RCODE/AUTH/LOOP; BGP models always terminate)\n"
@@ -405,7 +436,7 @@ let ablate scale =
     let m = Eywa_models.Dns_models.dname in
     let config =
       {
-        Synthesis.default_config with
+        Pipeline.default_config with
         k;
         timeout = 3.0;
         alphabet = m.Model_def.alphabet;
@@ -413,8 +444,8 @@ let ablate scale =
       }
     in
     match
-      Synthesis.run ~config ?jobs:!jobs ~oracle m.Model_def.graph
-        ~main:m.Model_def.main
+      Pipeline.run ~cache:(cache ()) ~sink ~config ?jobs:!jobs ~oracle
+        m.Model_def.graph ~main:m.Model_def.main
     with
     | Ok s -> s
     | Error e -> failwith e
@@ -589,6 +620,67 @@ let parallel scale =
 
 (* ----- driver ----- *)
 
+(* Per-stage instrumentation: (name, wall seconds, collector summary
+   before, after). The JSON deltas come out of the collector, so the
+   tick/hit/miss totals are exactly what the pipeline reported. *)
+let stage_log :
+    (string * float * Instrument.Collector.summary * Instrument.Collector.summary)
+    list ref =
+  ref []
+
+let staged name f =
+  let before = Instrument.Collector.summary collector in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let dt = Unix.gettimeofday () -. t0 in
+  let after = Instrument.Collector.summary collector in
+  stage_log := (name, dt, before, after) :: !stage_log
+
+let write_summary_json path ~fast ~total_seconds =
+  let stage_json (name, dt, b, a) =
+    let open Instrument.Collector in
+    Printf.sprintf
+      "    { \"stage\": %S, \"wall_seconds\": %.4f, \"draws\": %d, \
+       \"rejected\": %d, \"symex_ticks\": %d, \"paths_completed\": %d, \
+       \"solver_calls\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
+       \"unique_tests\": %d, \"difftests\": %d }"
+      name dt (a.draws - b.draws) (a.rejected - b.rejected)
+      (a.symex_ticks - b.symex_ticks)
+      (a.paths_completed - b.paths_completed)
+      (a.solver_calls - b.solver_calls)
+      (a.cache_hits - b.cache_hits)
+      (a.cache_misses - b.cache_misses)
+      (a.unique_tests - b.unique_tests)
+      (a.difftests - b.difftests)
+  in
+  let s = Instrument.Collector.summary collector in
+  try
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"eywa\",\n\
+      \  \"scale\": %S,\n\
+      \  \"jobs\": %d,\n\
+      \  \"total_seconds\": %.2f,\n\
+      \  \"stages\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"totals\": { \"draws\": %d, \"rejected\": %d, \"symex_ticks\": %d, \
+       \"paths_completed\": %d, \"paths_pruned\": %d, \"solver_calls\": %d, \
+       \"timeouts\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
+       \"unique_tests\": %d, \"difftests\": %d, \"disagreeing_tests\": %d }\n\
+       }\n"
+      (if fast then "fast" else "full")
+      (match !jobs with Some j -> j | None -> Eywa_core.Pool.default_jobs ())
+      total_seconds
+      (String.concat ",\n" (List.rev_map stage_json !stage_log))
+      s.draws s.rejected s.symex_ticks s.paths_completed s.paths_pruned
+      s.solver_calls s.timeouts s.cache_hits s.cache_misses s.unique_tests
+      s.difftests s.disagreeing_tests;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  with Sys_error m -> Printf.eprintf "error: cannot write summary JSON: %s\n" m
+
 let () =
   let rec parse_flags = function
     | [] -> []
@@ -597,6 +689,12 @@ let () =
         parse_flags rest
     | "--json" :: p :: rest ->
         json_path := Some p;
+        parse_flags rest
+    | "--cache-dir" :: d :: rest ->
+        cache_dir := Some d;
+        parse_flags rest
+    | "--summary-json" :: p :: rest ->
+        summary_json := Some p;
         parse_flags rest
     | a :: rest -> a :: parse_flags rest
   in
@@ -607,14 +705,17 @@ let () =
   let run_all = commands = [] || List.mem "all" commands in
   let wants c = run_all || List.mem c commands in
   let t0 = Unix.gettimeofday () in
-  if wants "table1" then table1 ();
-  if wants "table2" then table2 scale;
-  if wants "table3" then table3 scale;
-  if wants "fig10" then fig10 scale;
-  if wants "timing" then timing scale;
-  if wants "ablate" then ablate scale;
-  if wants "parallel" then parallel scale;
-  if wants "micro" then micro ();
-  Printf.printf "\n%s\ntotal bench time: %.1f s%s\n" line
-    (Unix.gettimeofday () -. t0)
-    (if fast then " (fast scale)" else "")
+  if wants "table1" then staged "table1" table1;
+  if wants "table2" then staged "table2" (fun () -> table2 scale);
+  if wants "table3" then staged "table3" (fun () -> table3 scale);
+  if wants "fig10" then staged "fig10" (fun () -> fig10 scale);
+  if wants "timing" then staged "timing" (fun () -> timing scale);
+  if wants "ablate" then staged "ablate" (fun () -> ablate scale);
+  if wants "parallel" then staged "parallel" (fun () -> parallel scale);
+  if wants "micro" then staged "micro" micro;
+  let total_seconds = Unix.gettimeofday () -. t0 in
+  Printf.printf "\n%s\ntotal bench time: %.1f s%s\n" line total_seconds
+    (if fast then " (fast scale)" else "");
+  match !summary_json with
+  | None -> ()
+  | Some path -> write_summary_json path ~fast ~total_seconds

@@ -4,7 +4,12 @@
    eywa prompt MODEL           print the generated LLM prompts
    eywa run MODEL              synthesize and print test cases
    eywa difftest MODEL         run differential testing and triage
-   eywa bugs                   print the known-bug catalog (Table 3 rows) *)
+   eywa stats MODEL            synthesize + difftest, print stage statistics
+   eywa bugs                   print the known-bug catalog (Table 3 rows)
+
+   Synthesis commands accept --cache-dir DIR: draw artifacts are
+   content-addressed there and reused by any later invocation with
+   the same inputs (output is byte-identical either way). *)
 
 open Cmdliner
 
@@ -54,6 +59,19 @@ let jobs_arg =
      any value."
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Persist per-draw synthesis artifacts in this directory, keyed by a \
+     content hash of every input (model, prompts, seed, temperature, \
+     budgets). Later runs with the same inputs reuse them; the output is \
+     byte-identical to an uncached run."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let cache_of = function
+  | None -> None
+  | Some dir -> Some (Eywa_core.Cache.create ~dir ())
 
 let limit_arg =
   let doc = "Print at most this many tests." in
@@ -112,11 +130,14 @@ let prompt_cmd =
     Term.(ret (const run $ model_arg))
 
 let run_cmd =
-  let run id k temperature seed timeout jobs limit save =
+  let run id k temperature seed timeout jobs limit save cache_dir =
     match find_model id with
     | Error e -> `Error (false, e)
     | Ok m -> (
-        match Model_def.synthesize ~k ~temperature ~seed ?timeout ?jobs ~oracle m with
+        match
+          Model_def.synthesize ?cache:(cache_of cache_dir) ~k ~temperature
+            ~seed ?timeout ?jobs ~oracle m
+        with
         | Error e -> `Error (false, e)
         | Ok s ->
             Printf.printf
@@ -143,7 +164,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Synthesize a model and print its generated tests.")
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
-               $ timeout_arg $ jobs_arg $ limit_arg $ save_arg))
+               $ timeout_arg $ jobs_arg $ limit_arg $ save_arg $ cache_dir_arg))
 
 let replay_cmd =
   let run id suite version jobs =
@@ -174,11 +195,14 @@ let replay_cmd =
     Term.(ret (const run $ model_arg $ suite_arg $ version_arg $ jobs_arg))
 
 let difftest_cmd =
-  let run id k temperature seed timeout jobs version =
+  let run id k temperature seed timeout jobs version cache_dir =
     match find_model id with
     | Error e -> `Error (false, e)
     | Ok m -> (
-        match Model_def.synthesize ~k ~temperature ~seed ?timeout ?jobs ~oracle m with
+        match
+          Model_def.synthesize ?cache:(cache_of cache_dir) ~k ~temperature
+            ~seed ?timeout ?jobs ~oracle m
+        with
         | Error e -> `Error (false, e)
         | Ok s ->
             Printf.printf "%s: %d unique tests\n" m.id (List.length s.unique_tests);
@@ -219,17 +243,20 @@ let difftest_cmd =
     (Cmd.info "difftest"
        ~doc:"Synthesize a model and differentially test the implementations.")
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
-               $ timeout_arg $ jobs_arg $ version_arg))
+               $ timeout_arg $ jobs_arg $ version_arg $ cache_dir_arg))
 
 let report_cmd =
-  let run id k temperature seed timeout jobs version =
+  let run id k temperature seed timeout jobs version cache_dir =
     match find_model id with
     | Error e -> `Error (false, e)
     | Ok m ->
         if m.protocol <> "DNS" then
           `Error (false, "report currently supports DNS models")
         else (
-          match Model_def.synthesize ~k ~temperature ~seed ?timeout ?jobs ~oracle m with
+          match
+            Model_def.synthesize ?cache:(cache_of cache_dir) ~k ~temperature
+              ~seed ?timeout ?jobs ~oracle m
+          with
           | Error e -> `Error (false, e)
           | Ok s ->
               print_string
@@ -240,7 +267,57 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Synthesize a DNS model and print a filing-ready markdown bug report.")
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
-               $ timeout_arg $ jobs_arg $ version_arg))
+               $ timeout_arg $ jobs_arg $ version_arg $ cache_dir_arg))
+
+let stats_cmd =
+  let run id k temperature seed timeout jobs version cache_dir =
+    match find_model id with
+    | Error e -> `Error (false, e)
+    | Ok m -> (
+        let collector = Eywa_core.Instrument.Collector.create () in
+        let sink = Eywa_core.Instrument.Collector.sink collector in
+        match
+          Model_def.synthesize ?cache:(cache_of cache_dir) ~sink ~k
+            ~temperature ~seed ?timeout ?jobs ~oracle m
+        with
+        | Error e -> `Error (false, e)
+        | Ok s ->
+            (* drive the difftest stage too, so its events show up *)
+            (match m.protocol with
+            | "DNS" ->
+                ignore
+                  (Eywa_models.Report.dns ~sink ~model_id:m.id ~version
+                     s.unique_tests)
+            | "BGP" ->
+                let report =
+                  Eywa_models.Bgp_adapter.run ?jobs ~model_id:m.id
+                    s.unique_tests
+                in
+                sink
+                  (Eywa_core.Instrument.Difftest_done
+                     {
+                       label = m.id;
+                       total_tests = report.Difftest.total_tests;
+                       disagreeing_tests = report.Difftest.disagreeing_tests;
+                       tuples = List.length report.Difftest.tuples;
+                     })
+            | _ -> ());
+            Printf.printf "%s: pipeline statistics (k=%d, seed=%d, tau=%.2f)\n"
+              m.id k seed temperature;
+            print_endline
+              (Format.asprintf "%a" Eywa_core.Instrument.Collector.pp_summary
+                 (Eywa_core.Instrument.Collector.summary collector));
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Synthesize a model (and difftest it) with a collecting \
+          instrumentation sink, then print per-stage statistics: draws, \
+          rejections, deterministic symex ticks, paths, solver calls, cache \
+          hits/misses, difftest disagreements.")
+    Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
+               $ timeout_arg $ jobs_arg $ version_arg $ cache_dir_arg))
 
 let bugs_cmd =
   let run () =
@@ -273,4 +350,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ models_cmd; prompt_cmd; run_cmd; replay_cmd; difftest_cmd;
-            report_cmd; bugs_cmd ]))
+            report_cmd; stats_cmd; bugs_cmd ]))

@@ -17,8 +17,10 @@ module Difftest = Eywa_difftest.Difftest
 let oracle = Eywa_llm.Gpt.oracle ()
 
 let () =
+  let collector = Eywa_core.Instrument.Collector.create () in
+  let sink = Eywa_core.Instrument.Collector.sink collector in
   let run (m : Model_def.t) =
-    match Model_def.synthesize ~k:6 ~oracle m with
+    match Model_def.synthesize ~sink ~k:6 ~oracle m with
     | Ok s ->
         Printf.printf "%s: %d unique tests\n%!" m.id (List.length s.unique_tests);
         (m.id, s.unique_tests)
@@ -26,6 +28,11 @@ let () =
   in
   let rmap = run Bgp_models.rmap_pl in
   let confed = run Bgp_models.confed in
+  let s = Eywa_core.Instrument.Collector.summary collector in
+  Printf.printf "pipeline: %d draws, %d symex ticks, %d paths\n"
+    s.Eywa_core.Instrument.Collector.draws
+    s.Eywa_core.Instrument.Collector.symex_ticks
+    s.Eywa_core.Instrument.Collector.paths_completed;
 
   print_endline "\n=== differential testing on the R1 -> R2 -> R3 chain ===";
   List.iter

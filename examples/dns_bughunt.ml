@@ -18,10 +18,15 @@ let oracle = Eywa_llm.Gpt.oracle ()
 
 let () =
   let models = [ Dns_models.dname; Dns_models.wildcard ] in
+  (* one content-addressed cache shared by both models: running this
+     example twice in a row with --cache-dir-style persistence would
+     skip every draw (here it stays in memory, so the second
+     synthesize call of a model would hit) *)
+  let cache = Eywa_core.Cache.create () in
   let tests =
     List.map
       (fun (m : Model_def.t) ->
-        match Model_def.synthesize ~k:6 ~oracle m with
+        match Model_def.synthesize ~cache ~k:6 ~oracle m with
         | Ok s ->
             Printf.printf "%s: %d unique tests\n%!" m.id
               (List.length s.unique_tests);
@@ -29,6 +34,8 @@ let () =
         | Error e -> failwith e)
       models
   in
+  Printf.printf "synthesis cache: %d hits, %d misses\n"
+    (Eywa_core.Cache.hits cache) (Eywa_core.Cache.misses cache);
 
   (* show one post-processed artifact, like the §2.3 zone *)
   (match tests with

@@ -53,12 +53,17 @@ let () =
   print_endline "=== generated user prompt ===";
   print_endline prompt.Prompt.user;
 
-  (* Synthesize the end-to-end model and generate tests. *)
+  (* Synthesize the end-to-end model and generate tests, through the
+     staged pipeline with a collecting instrumentation sink. *)
   let oracle = Eywa_llm.Gpt.oracle () in
   let config =
-    { Synthesis.default_config with k = 5; alphabet = [ 'a'; '.'; '*' ] }
+    { Pipeline.default_config with k = 5; alphabet = [ 'a'; '.'; '*' ] }
   in
-  match Synthesis.run ~config ~oracle g ~main:ra with
+  let collector = Instrument.Collector.create () in
+  match
+    Pipeline.run ~sink:(Instrument.Collector.sink collector) ~config ~oracle g
+      ~main:ra
+  with
   | Error e -> prerr_endline ("synthesis failed: " ^ e)
   | Ok model ->
       print_endline "\n=== one generated implementation ===";
@@ -69,4 +74,8 @@ let () =
         (List.length model.unique_tests);
       List.iteri
         (fun i t -> if i < 20 then print_endline ("  " ^ Testcase.to_string t))
-        model.unique_tests
+        model.unique_tests;
+      print_endline "\n=== pipeline statistics ===";
+      print_endline
+        (Format.asprintf "%a" Instrument.Collector.pp_summary
+           (Instrument.Collector.summary collector))

@@ -17,7 +17,10 @@ module Difftest = Eywa_difftest.Difftest
 let oracle = Eywa_llm.Gpt.oracle ()
 
 let () =
-  match Model_def.synthesize ~k:5 ~oracle Smtp_models.server with
+  match
+    Model_def.synthesize ~cache:(Eywa_core.Cache.create ()) ~k:5 ~oracle
+      Smtp_models.server
+  with
   | Error e -> failwith e
   | Ok synth -> (
       Printf.printf "SERVER: %d unique (state, input) tests\n"

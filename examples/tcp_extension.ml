@@ -21,7 +21,11 @@ module Difftest = Eywa_difftest.Difftest
 let oracle = Eywa_llm.Gpt.oracle ()
 
 let () =
-  match Model_def.synthesize ~k:5 ~oracle Tcp_models.server with
+  let collector = Eywa_core.Instrument.Collector.create () in
+  match
+    Model_def.synthesize ~sink:(Eywa_core.Instrument.Collector.sink collector)
+      ~k:5 ~oracle Tcp_models.server
+  with
   | Error e -> failwith e
   | Ok synth -> (
       Printf.printf "TCP: %d unique (state, segment) tests\n"
@@ -56,4 +60,8 @@ let () =
                     "data accepted before the handshake completes"
                 | Eywa_tcp.Machine.No_rst_on_bad_segment ->
                     "no RST for unacceptable segments"))
-            (Tcp_adapter.quirks_triggered ~graph synth.unique_tests))
+            (Tcp_adapter.quirks_triggered ~graph synth.unique_tests);
+          let s = Eywa_core.Instrument.Collector.summary collector in
+          Printf.printf "\npipeline: %d draws, %d symex ticks (deterministic)\n"
+            s.Eywa_core.Instrument.Collector.draws
+            s.Eywa_core.Instrument.Collector.symex_ticks)

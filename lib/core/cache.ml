@@ -1,0 +1,145 @@
+module Key = struct
+  type t = { stage : string; canonical : string; digest : string }
+
+  (* FNV-1a, 64-bit: simple, fast, and — unlike [Hashtbl.hash] — a
+     documented constant across OCaml versions, so on-disk entries
+     written by one build stay addressable by the next. *)
+  let fnv1a_64 s =
+    let offset_basis = 0xcbf29ce484222325L in
+    let prime = 0x100000001b3L in
+    let h = ref offset_basis in
+    String.iter
+      (fun c ->
+        h := Int64.logxor !h (Int64.of_int (Char.code c));
+        h := Int64.mul !h prime)
+      s;
+    !h
+
+  let v ~stage parts =
+    let buf = Buffer.create 256 in
+    (* length-prefixed fields make the encoding injective *)
+    let add s =
+      Buffer.add_string buf (string_of_int (String.length s));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n'
+    in
+    add stage;
+    List.iter
+      (fun (name, value) ->
+        add name;
+        add value)
+      parts;
+    let canonical = Buffer.contents buf in
+    { stage; canonical; digest = Printf.sprintf "%016Lx" (fnv1a_64 canonical) }
+
+  let stage t = t.stage
+  let digest t = t.digest
+  let canonical t = t.canonical
+  let equal a b = a.stage = b.stage && a.canonical = b.canonical
+end
+
+type t = {
+  dir : string option;
+  mutex : Mutex.t;
+  table : (string, string * string) Hashtbl.t;
+      (* stage-digest -> (canonical key, payload) *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?dir () =
+  { dir; mutex = Mutex.create (); table = Hashtbl.create 64; hits = 0;
+    misses = 0 }
+
+let dir t = t.dir
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let slot (key : Key.t) = Key.stage key ^ "-" ^ Key.digest key
+
+let path_of t key =
+  match t.dir with
+  | None -> None
+  | Some d -> Some (Filename.concat d (slot key ^ ".eywa"))
+
+(* Disk format: the canonical key (so collisions are detectable), a
+   separator line, then the payload verbatim. *)
+let disk_read t (key : Key.t) =
+  match path_of t key with
+  | None -> None
+  | Some path -> (
+      match open_in_bin path with
+      | exception Sys_error _ -> None
+      | ic ->
+          let len = in_channel_length ic in
+          let content = really_input_string ic len in
+          close_in ic;
+          let expected = Key.canonical key in
+          let header = String.length expected in
+          if
+            String.length content >= header + 1
+            && String.sub content 0 header = expected
+            && content.[header] = '\n'
+          then Some (String.sub content (header + 1) (len - header - 1))
+          else None)
+
+let disk_write t (key : Key.t) payload =
+  match path_of t key with
+  | None -> ()
+  | Some path -> (
+      try
+        (match t.dir with
+        | Some d when not (Sys.file_exists d) -> Sys.mkdir d 0o755
+        | _ -> ());
+        (* write-then-rename so a concurrent reader never sees a torn
+           entry *)
+        let tmp = path ^ ".tmp" in
+        let oc = open_out_bin tmp in
+        output_string oc (Key.canonical key);
+        output_char oc '\n';
+        output_string oc payload;
+        close_out oc;
+        Sys.rename tmp path
+      with Sys_error _ -> ())
+
+let find ?(sink = Instrument.null) t (key : Key.t) =
+  let result =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table (slot key) with
+        | Some (canonical, payload) when canonical = Key.canonical key ->
+            t.hits <- t.hits + 1;
+            Some payload
+        | Some _ | None -> (
+            match disk_read t key with
+            | Some payload ->
+                Hashtbl.replace t.table (slot key)
+                  (Key.canonical key, payload);
+                t.hits <- t.hits + 1;
+                Some payload
+            | None ->
+                t.misses <- t.misses + 1;
+                None))
+  in
+  (match result with
+  | Some _ ->
+      sink (Instrument.Cache_hit { stage = Key.stage key; key = Key.digest key })
+  | None ->
+      sink
+        (Instrument.Cache_miss { stage = Key.stage key; key = Key.digest key }));
+  result
+
+let store t (key : Key.t) payload =
+  locked t (fun () ->
+      Hashtbl.replace t.table (slot key) (Key.canonical key, payload);
+      disk_write t key payload)
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+
+let to_list t =
+  locked t (fun () ->
+      Hashtbl.fold (fun k (_, payload) acc -> (k, payload) :: acc) t.table []
+      |> List.sort compare)

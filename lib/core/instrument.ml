@@ -1,0 +1,120 @@
+type event =
+  | Draw_started of { index : int }
+  | Draw_finished of {
+      index : int;
+      tests : int;
+      gen_seconds : float;
+      symex_seconds : float;
+    }
+  | Compile_rejected of { index : int; stage : string; message : string }
+  | Symex_done of {
+      index : int;
+      ticks : int;
+      paths_completed : int;
+      paths_pruned : int;
+      solver_calls : int;
+      timed_out : bool;
+    }
+  | Cache_hit of { stage : string; key : string }
+  | Cache_miss of { stage : string; key : string }
+  | Suite_aggregated of { draws : int; unique_tests : int }
+  | Difftest_done of {
+      label : string;
+      total_tests : int;
+      disagreeing_tests : int;
+      tuples : int;
+    }
+
+type sink = event -> unit
+
+let null : sink = fun _ -> ()
+let tee a b : sink = fun e -> a e; b e
+
+module Collector = struct
+  type t = { mutex : Mutex.t; mutable events : event list (* newest first *) }
+
+  type summary = {
+    draws : int;
+    rejected : int;
+    tests : int;
+    gen_seconds : float;
+    symex_seconds : float;
+    symex_ticks : int;
+    paths_completed : int;
+    paths_pruned : int;
+    solver_calls : int;
+    timeouts : int;
+    cache_hits : int;
+    cache_misses : int;
+    unique_tests : int;
+    difftests : int;
+    disagreeing_tests : int;
+  }
+
+  let create () = { mutex = Mutex.create (); events = [] }
+
+  let sink t : sink =
+    fun e ->
+      Mutex.lock t.mutex;
+      t.events <- e :: t.events;
+      Mutex.unlock t.mutex
+
+  let events t =
+    Mutex.lock t.mutex;
+    let es = List.rev t.events in
+    Mutex.unlock t.mutex;
+    es
+
+  let clear t =
+    Mutex.lock t.mutex;
+    t.events <- [];
+    Mutex.unlock t.mutex
+
+  let empty_summary =
+    {
+      draws = 0; rejected = 0; tests = 0; gen_seconds = 0.0;
+      symex_seconds = 0.0; symex_ticks = 0; paths_completed = 0;
+      paths_pruned = 0; solver_calls = 0; timeouts = 0; cache_hits = 0;
+      cache_misses = 0; unique_tests = 0; difftests = 0;
+      disagreeing_tests = 0;
+    }
+
+  let summary t =
+    List.fold_left
+      (fun s -> function
+        | Draw_started _ -> s
+        | Draw_finished { tests; gen_seconds; symex_seconds; _ } ->
+            { s with draws = s.draws + 1; tests = s.tests + tests;
+              gen_seconds = s.gen_seconds +. gen_seconds;
+              symex_seconds = s.symex_seconds +. symex_seconds }
+        | Compile_rejected _ -> { s with rejected = s.rejected + 1 }
+        | Symex_done
+            { ticks; paths_completed; paths_pruned; solver_calls; timed_out; _ }
+          ->
+            { s with symex_ticks = s.symex_ticks + ticks;
+              paths_completed = s.paths_completed + paths_completed;
+              paths_pruned = s.paths_pruned + paths_pruned;
+              solver_calls = s.solver_calls + solver_calls;
+              timeouts = (s.timeouts + if timed_out then 1 else 0) }
+        | Cache_hit _ -> { s with cache_hits = s.cache_hits + 1 }
+        | Cache_miss _ -> { s with cache_misses = s.cache_misses + 1 }
+        | Suite_aggregated { unique_tests; _ } ->
+            { s with unique_tests = s.unique_tests + unique_tests }
+        | Difftest_done { total_tests = _; disagreeing_tests; _ } ->
+            { s with difftests = s.difftests + 1;
+              disagreeing_tests = s.disagreeing_tests + disagreeing_tests })
+      empty_summary (events t)
+
+  let pp_summary ppf (s : summary) =
+    Format.fprintf ppf
+      "draws        %d finished, %d rejected, %d raw tests@\n\
+       generation   %.2f s wall@\n\
+       symex        %.2f s wall, %d ticks (deterministic), %d paths (+%d \
+       pruned), %d solver calls, %d timeouts@\n\
+       cache        %d hits, %d misses@\n\
+       aggregation  %d unique tests@\n\
+       difftest     %d runs, %d disagreeing tests"
+      s.draws s.rejected s.tests s.gen_seconds s.symex_seconds s.symex_ticks
+      s.paths_completed s.paths_pruned s.solver_calls s.timeouts s.cache_hits
+      s.cache_misses s.unique_tests s.difftests s.disagreeing_tests
+end

@@ -1,0 +1,91 @@
+(** Per-stage instrumentation for the pipeline engine.
+
+    Every stage of {!Pipeline} reports what it did through a [sink] —
+    a plain event callback. The default sink drops everything at zero
+    cost; {!Collector} accumulates events for the bench's timing
+    stage, the CLI [stats] subcommand, and tests.
+
+    Determinism contract: parallel pipeline units stay pure, so stage
+    events are {e replayed} at the deterministic merge point in input
+    (model-index) order, never from inside pool workers. Hence the
+    event sequence a run emits is — modulo the two wall-clock fields
+    of [Draw_finished] — bit-for-bit independent of [jobs] and of the
+    cache state; a cache hit replays even the wall-clock fields the
+    stored run measured, so only the [Cache_hit]/[Cache_miss] events
+    themselves distinguish a warm run from the cold run that filled
+    the cache. *)
+
+type event =
+  | Draw_started of { index : int }
+  | Draw_finished of {
+      index : int;
+      tests : int;
+      gen_seconds : float;  (** wall clock; machine-dependent *)
+      symex_seconds : float;  (** wall clock; machine-dependent *)
+    }
+  | Compile_rejected of {
+      index : int;
+      stage : string;  (** ["oracle"] or ["typecheck"] *)
+      message : string;
+    }
+  | Symex_done of {
+      index : int;
+      ticks : int;  (** deterministic budget ticks; machine-independent *)
+      paths_completed : int;
+      paths_pruned : int;
+      solver_calls : int;
+      timed_out : bool;
+    }
+  | Cache_hit of { stage : string; key : string  (** hex digest *) }
+  | Cache_miss of { stage : string; key : string }
+  | Suite_aggregated of { draws : int; unique_tests : int }
+  | Difftest_done of {
+      label : string;  (** model id or suite name *)
+      total_tests : int;
+      disagreeing_tests : int;
+      tuples : int;  (** unique root-cause tuples *)
+    }
+
+type sink = event -> unit
+
+val null : sink
+(** Drops every event. The default everywhere. *)
+
+val tee : sink -> sink -> sink
+
+(** Collecting sink: remembers events in emission order and folds them
+    into summary counters. Safe to share across domains (the adapters
+    emit difftest events from the orchestrating domain, the pipeline
+    from its merge point; a mutex guards the buffer regardless). *)
+module Collector : sig
+  type t
+
+  type summary = {
+    draws : int;  (** [Draw_finished] events *)
+    rejected : int;  (** [Compile_rejected] events *)
+    tests : int;  (** tests over finished draws, before suite dedup *)
+    gen_seconds : float;
+    symex_seconds : float;
+    symex_ticks : int;
+    paths_completed : int;
+    paths_pruned : int;
+    solver_calls : int;
+    timeouts : int;  (** draws that exhausted the tick budget *)
+    cache_hits : int;
+    cache_misses : int;
+    unique_tests : int;  (** summed over [Suite_aggregated] events *)
+    difftests : int;
+    disagreeing_tests : int;
+  }
+
+  val create : unit -> t
+  val sink : t -> sink
+  val events : t -> event list
+  (** In emission order. *)
+
+  val summary : t -> summary
+  val clear : t -> unit
+
+  val pp_summary : Format.formatter -> summary -> unit
+  (** Human-readable multi-line rendering, one stage per line. *)
+end

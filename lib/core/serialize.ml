@@ -164,6 +164,17 @@ let value_of_string s =
       else Ok v
   | exception Bad m -> Error m
 
+let quote s = "\"" ^ escape s ^ "\""
+
+let unquote s =
+  let c = { src = s; pos = 0 } in
+  match read_quoted c with
+  | decoded ->
+      skip_ws c;
+      if c.pos <> String.length s then Error "trailing input after quote"
+      else Ok decoded
+  | exception Bad m -> Error m
+
 (* ----- test cases ----- *)
 
 let test_to_line (t : Testcase.t) =

@@ -12,6 +12,16 @@ val value_to_string : Eywa_minic.Value.t -> string
 
 val value_of_string : string -> (Eywa_minic.Value.t, string) result
 
+val quote : string -> string
+(** Wrap a string in double quotes, escaping quotes, backslashes,
+    newlines and non-printable bytes — the quoted token other
+    line-based formats (the {!Pipeline} cache artifacts) embed
+    arbitrary text with. *)
+
+val unquote : string -> (string, string) result
+(** Exact inverse of {!quote}; the whole input must be one quoted
+    token. *)
+
 val test_to_line : Testcase.t -> string
 val test_of_line : string -> (Testcase.t, string) result
 

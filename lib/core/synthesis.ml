@@ -1,13 +1,12 @@
+(* The historical entry point; the staged engine itself lives in
+   {!Pipeline}, this module re-exports its types and wraps its runner
+   for callers that need neither caching nor instrumentation. *)
+
 module Ast = Eywa_minic.Ast
-module Parser = Eywa_minic.Parser
-module Typecheck = Eywa_minic.Typecheck
-module Pretty = Eywa_minic.Pretty
 module Value = Eywa_minic.Value
 module Interp = Eywa_minic.Interp
-module Exec = Eywa_symex.Exec
-module Sv = Eywa_symex.Sv
 
-type config = {
+type config = Pipeline.config = {
   k : int;
   temperature : float;
   timeout : float;
@@ -19,31 +18,20 @@ type config = {
   samples_per_path : int;
 }
 
-let default_config =
-  {
-    k = 10;
-    temperature = 0.6;
-    timeout = 5.0;
-    max_paths = 4096;
-    max_steps = 20_000;
-    max_solver_decisions = 200_000;
-    alphabet = [ 'a'; 'b'; '.'; '*' ];
-    base_seed = 42;
-    samples_per_path = 4;
-  }
+let default_config = Pipeline.default_config
 
-type model_result = {
+type model_result = Pipeline.model_result = {
   index : int;
   c_source : string;
   c_loc : int;
   compile_error : string option;
   tests : Testcase.t list;
-  stats : Exec.stats option;
+  stats : Eywa_symex.Exec.stats option;
   gen_seconds : float;
   symex_seconds : float;
 }
 
-type t = {
+type t = Pipeline.t = {
   main : Emodule.func;
   results : model_result list;
   unique_tests : Testcase.t list;
@@ -52,182 +40,8 @@ type t = {
   programs : Ast.program list;
 }
 
-let now () = Unix.gettimeofday ()
-
-(* Obtain the implementation of one module for model index [i]:
-   prompt the oracle for Func modules, parse Custom sources directly. *)
-let generate_module oracle config g index m :
-    (Ast.func list * string, string) result =
-  match m with
-  | Emodule.Func f -> (
-      let prompt = Prompt.for_module g f in
-      let completion =
-        oracle.Oracle.complete
-          {
-            Oracle.system = prompt.Prompt.system;
-            user = prompt.Prompt.user;
-            temperature = config.temperature;
-            seed = config.base_seed + index;
-          }
-      in
-      match Parser.parse_result completion with
-      | Error msg -> Error (Printf.sprintf "module %s: %s" f.name msg)
-      | Ok parsed -> (
-          match Ast.find_func parsed f.name with
-          | None ->
-              Error
-                (Printf.sprintf "module %s: completion does not define %s" f.name
-                   f.name)
-          | Some fn -> Ok ([ fn ], completion)))
-  | Emodule.Custom c -> (
-      match Parser.parse_result c.source with
-      | Error msg -> Error (Printf.sprintf "custom module %s: %s" c.cname msg)
-      | Ok parsed -> Ok (parsed.Ast.funcs, c.source))
-  | Emodule.Regex _ -> Ok ([], "")
-
-let path_to_test ~rotate ~model inputs (path : Exec.path) : Testcase.t =
-  let concrete_inputs =
-    List.map (fun (name, sv) -> (name, Sv.concretize ~rotate model sv)) inputs
-  in
-  match path.error with
-  | Some e ->
-      { Testcase.inputs = concrete_inputs; result = None; bad_input = false;
-        error = Some e }
-  | None -> (
-      match Sv.concretize ~rotate model path.ret with
-      | Value.Vstruct (_, fields) ->
-          let bad_input =
-            match List.assoc_opt "bad_input" fields with
-            | Some (Value.Vbool b) -> b
-            | _ -> false
-          in
-          let result = List.assoc_opt "result" fields in
-          { Testcase.inputs = concrete_inputs; result; bad_input; error = None }
-      | v ->
-          { Testcase.inputs = concrete_inputs; result = Some v; bad_input = false;
-            error = None })
-
-(* One test per (path, sample): re-solving the path condition under
-   different value rotations yields several concrete witnesses of the
-   same path, the way Klee's test generation covers bounded input
-   spaces far more densely than one-per-path (cf. the Table 2 counts). *)
-let path_to_tests config (path : Exec.path) inputs : Testcase.t list =
-  let samples = max 1 config.samples_per_path in
-  List.init samples (fun s ->
-      let model =
-        if s = 0 then path.Exec.model
-        else
-          match
-            Eywa_solver.Solve.solve ~max_decisions:config.max_solver_decisions
-              ~rotate:s path.Exec.pc
-          with
-          | Eywa_solver.Solve.Sat m -> m
-          | Eywa_solver.Solve.Unsat | Eywa_solver.Solve.Unknown -> path.Exec.model
-      in
-      path_to_test ~rotate:s ~model inputs path)
-
-let synthesize_one oracle config g (main : Emodule.func) order index :
-    model_result * Ast.program option =
-  (* fresh atom ids per run — scoped to this job, so parallel draws on
-     a pool never share a counter and identical generated code yields
-     identical paths, rotations and tests (tau = 0 determinism) *)
-  Eywa_solver.Term.with_fresh_ids @@ fun () ->
-  let gen_start = now () in
-  let rec gen acc_funcs acc_src = function
-    | [] -> Ok (List.rev acc_funcs, String.concat "\n\n" (List.rev acc_src))
-    | m :: rest -> (
-        match generate_module oracle config g index m with
-        | Error e -> Error e
-        | Ok (fns, src) ->
-            gen (List.rev_append fns acc_funcs)
-              (if src = "" then acc_src else src :: acc_src)
-              rest)
-  in
-  match gen [] [] order with
-  | Error e ->
-      (* stage-tagged so parallel failure logs are attributable: this
-         branch covers oracle completions that do not parse or do not
-         define the requested function *)
-      ( { index; c_source = ""; c_loc = 0; compile_error = Some ("oracle: " ^ e);
-          tests = []; stats = None; gen_seconds = now () -. gen_start;
-          symex_seconds = 0.0 },
-        None )
-  | Ok (funcs, c_source) -> (
-      let gen_seconds = now () -. gen_start in
-      let c_loc =
-        List.fold_left (fun acc f -> acc + Pretty.loc (Pretty.func f)) 0 funcs
-      in
-      let program = Harness.build g ~main ~funcs in
-      match Typecheck.check program with
-      | Error e ->
-          ( { index; c_source; c_loc; compile_error = Some ("typecheck: " ^ e);
-              tests = []; stats = None; gen_seconds; symex_seconds = 0.0 },
-            None )
-      | Ok () ->
-          let inputs = Harness.symbolic_inputs ~alphabet:config.alphabet main in
-          let natives = Harness.natives_symbolic g main in
-          let exec_config =
-            {
-              Exec.max_paths = config.max_paths;
-              max_steps = config.max_steps;
-              timeout = config.timeout;
-              max_solver_decisions = config.max_solver_decisions;
-              string_bound = 8;
-            }
-          in
-          let sym_start = now () in
-          let paths, stats =
-            Exec.run ~config:exec_config ~natives program
-              ~entry:Harness.entry_name
-              ~args:(List.map snd inputs)
-              ~assumes:[]
-          in
-          let symex_seconds = now () -. sym_start in
-          let tests =
-            Testcase.dedup
-              (List.concat_map (fun p -> path_to_tests config p inputs) paths)
-          in
-          ( { index; c_source; c_loc; compile_error = None; tests;
-              stats = Some stats; gen_seconds; symex_seconds },
-            Some program ))
-
-let run ?(config = default_config) ?jobs ~oracle g ~main =
-  match main with
-  | Emodule.Regex _ | Emodule.Custom _ ->
-      Error "Synthesis.run: main must be a Func module"
-  | Emodule.Func main_f -> (
-      match Graph.synthesis_order g ~main with
-      | Error e -> Error e
-      | Ok order ->
-          let jobs =
-            match jobs with Some j -> max 1 j | None -> Pool.default_jobs ()
-          in
-          (* the k draws are independent; fan them out and merge by
-             model index, so the result is identical at any [jobs] *)
-          let results_and_programs =
-            Pool.with_pool ~jobs (fun pool ->
-                Pool.map pool
-                  (fun i -> synthesize_one oracle config g main_f order i)
-                  (List.init config.k (fun i -> i)))
-          in
-          let results = List.map fst results_and_programs in
-          let programs = List.filter_map snd results_and_programs in
-          let compiled = List.filter (fun r -> r.compile_error = None) results in
-          let locs = List.map (fun r -> r.c_loc) compiled in
-          let loc_min = List.fold_left min max_int locs in
-          let loc_max = List.fold_left max 0 locs in
-          let unique_tests =
-            Testcase.dedup (List.concat_map (fun r -> r.tests) results)
-          in
-          Ok
-            {
-              main = main_f;
-              results;
-              unique_tests;
-              loc_min = (if locs = [] then 0 else loc_min);
-              loc_max;
-              programs;
-            })
+let run ?config ?jobs ~oracle g ~main =
+  Pipeline.run ?config ?jobs ~oracle g ~main
 
 let replay ?(string_bound = 16) g ~main program (test : Testcase.t) =
   let natives = Harness.natives_concrete g main in

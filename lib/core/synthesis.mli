@@ -6,9 +6,14 @@
     assembles the harness, runs symbolic execution, and converts every
     completed path into a test case. Results are aggregated into the
     union of unique tests, with the min/max generated-code LoC that
-    Table 2 reports. *)
+    Table 2 reports.
 
-type config = {
+    This module is a thin facade over {!Pipeline}, which exposes the
+    individual stages plus caching ({!Pipeline.run}'s [?cache]) and
+    instrumentation ([?sink]). The types below are re-exported
+    equalities, so values flow freely between the two. *)
+
+type config = Pipeline.config = {
   k : int;  (** number of model implementations to draw (paper: 10) *)
   temperature : float;  (** tau (paper: 0.6) *)
   timeout : float;
@@ -29,7 +34,7 @@ val default_config : config
 (** k = 10, temperature = 0.6, timeout = 5 s, alphabet [a b . *],
     4 samples per path. *)
 
-type model_result = {
+type model_result = Pipeline.model_result = {
   index : int;
   c_source : string;  (** the generated module implementations *)
   c_loc : int;
@@ -45,7 +50,7 @@ type model_result = {
   symex_seconds : float;
 }
 
-type t = {
+type t = Pipeline.t = {
   main : Emodule.func;
   results : model_result list;
   unique_tests : Testcase.t list;

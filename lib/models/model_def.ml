@@ -8,11 +8,11 @@ type t = {
   timeout : float;
 }
 
-let synthesize ?(k = 10) ?(temperature = 0.6) ?(seed = 42) ?timeout ?max_paths
-    ?jobs ~oracle t =
+let synthesize ?cache ?sink ?(k = 10) ?(temperature = 0.6) ?(seed = 42)
+    ?timeout ?max_paths ?jobs ~oracle t =
   let config =
     {
-      Eywa_core.Synthesis.default_config with
+      Eywa_core.Pipeline.default_config with
       k;
       temperature;
       timeout = (match timeout with Some s -> s | None -> t.timeout);
@@ -23,4 +23,5 @@ let synthesize ?(k = 10) ?(temperature = 0.6) ?(seed = 42) ?timeout ?max_paths
   let config =
     match max_paths with Some n -> { config with max_paths = n } | None -> config
   in
-  Eywa_core.Synthesis.run ~config ?jobs ~oracle t.graph ~main:t.main
+  Eywa_core.Pipeline.run ?cache ?sink ~config ?jobs ~oracle t.graph
+    ~main:t.main

@@ -12,6 +12,8 @@ type t = {
 }
 
 val synthesize :
+  ?cache:Eywa_core.Cache.t ->
+  ?sink:Eywa_core.Instrument.sink ->
   ?k:int ->
   ?temperature:float ->
   ?seed:int ->
@@ -24,5 +26,6 @@ val synthesize :
 (** Run the full pipeline with this model's alphabet; [timeout] and
     [max_paths] override the model's defaults (tests and sweeps use
     small budgets). [jobs] fans the [k] draws out over a domain pool
-    (see {!Eywa_core.Synthesis.run}); the result is identical at any
-    value. *)
+    (see {!Eywa_core.Pipeline.run}); the result is identical at any
+    value. [cache] content-addresses the per-draw artifacts and
+    [sink] receives stage events — both default to off. *)

@@ -39,8 +39,16 @@ let dns_witness ~model_id ~version impl tests =
             (Difftest.compare_all obs))
     tests
 
-let dns ~model_id ~version tests =
+let dns ?(sink = Eywa_core.Instrument.null) ~model_id ~version tests =
   let report = Dns_adapter.run ~model_id ~version tests in
+  sink
+    (Eywa_core.Instrument.Difftest_done
+       {
+         label = model_id;
+         total_tests = report.total_tests;
+         disagreeing_tests = report.disagreeing_tests;
+         tuples = List.length report.tuples;
+       });
   let base = render_generic ~title:(Printf.sprintf "Eywa findings: DNS %s model" model_id) report in
   let buf = Buffer.create (String.length base + 1024) in
   Buffer.add_string buf base;

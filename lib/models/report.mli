@@ -7,11 +7,14 @@
     the §2.3-style zone file and query of a witness test. *)
 
 val dns :
+  ?sink:Eywa_core.Instrument.sink ->
   model_id:string ->
   version:Eywa_dns.Impls.version ->
   Eywa_core.Testcase.t list ->
   string
-(** Run differential testing over the tests and render the findings. *)
+(** Run differential testing over the tests and render the findings.
+    [sink] receives one [Difftest_done] event with the report's
+    headline counts (default: none). *)
 
 val render_generic :
   title:string ->

@@ -32,6 +32,7 @@ type stats = {
   paths_pruned : int;
   solver_calls : int;
   timed_out : bool;
+  ticks_used : int;
 }
 
 type ctx = {
@@ -644,4 +645,5 @@ let run ?(config = default_config) ?(natives = []) program ~entry ~args ~assumes
       paths_pruned = ctx.pruned;
       solver_calls = ctx.solver_calls;
       timed_out = ctx.timed_out;
+      ticks_used = ctx.checks;
     } )

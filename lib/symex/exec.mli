@@ -43,6 +43,10 @@ type stats = {
   paths_pruned : int;  (** infeasible or unsolvable branches *)
   solver_calls : int;
   timed_out : bool;
+  ticks_used : int;
+      (** exploration ticks consumed against the deterministic budget —
+          a machine-independent measure of symex work, comparable
+          across hosts (unlike wall seconds) *)
 }
 
 val run :

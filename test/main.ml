@@ -18,4 +18,5 @@ let () =
       ("edge", Test_edge.suite);
       ("report", Test_report.suite);
       ("parallel", Test_parallel.suite);
+      ("pipeline", Test_pipeline.suite);
     ]

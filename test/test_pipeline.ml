@@ -1,0 +1,321 @@
+(* The PR-2 pipeline contract: the content-addressed cache is
+   invisible to every observable output.
+
+   - A warm-cache run is byte-identical to a cold run — including the
+     wall-clock fields, which are stored in the artifact as hexfloats
+     and replayed on a hit — at jobs=1 and jobs=4.
+   - Cache keys cover every input a draw depends on: changing the
+     seed, temperature, any budget, the sampling count, the alphabet
+     or any prompt text changes the key; changing nothing doesn't.
+   - Draw artifacts round-trip exactly through the textual codec, and
+     through a cache directory on disk picked up by a fresh process
+     (modelled here as a fresh Cache on the same dir).
+   - jobs=1 and jobs=4 populate byte-identical cache contents.
+   - The collecting sink sees the same deterministic event stream
+     either way, except for Cache_hit/Cache_miss themselves. *)
+
+module Pipeline = Eywa_core.Pipeline
+module Cache = Eywa_core.Cache
+module Instrument = Eywa_core.Instrument
+module Synthesis = Eywa_core.Synthesis
+module Graph = Eywa_core.Graph
+module Emodule = Eywa_core.Emodule
+module Testcase = Eywa_core.Testcase
+module Model_def = Eywa_models.Model_def
+module Bgp_models = Eywa_models.Bgp_models
+module Dns_models = Eywa_models.Dns_models
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let oracle = Eywa_llm.Gpt.oracle ()
+
+(* Everything observable about a synthesis, wall-clock fields
+   included: cache hits must replay even those byte-identically (they
+   come out of the stored artifact, not a clock). *)
+let full_fingerprint (s : Synthesis.t) =
+  String.concat "\n"
+    (Printf.sprintf "loc=%d/%d programs=%d" s.loc_min s.loc_max
+       (List.length s.programs)
+     :: List.map Testcase.to_string s.unique_tests
+    @ List.concat_map
+        (fun (r : Synthesis.model_result) ->
+          Printf.sprintf "model %d loc=%d err=%s gen=%h sym=%h stats=%s"
+            r.index r.c_loc
+            (Option.value ~default:"-" r.compile_error)
+            r.gen_seconds r.symex_seconds
+            (match r.stats with
+            | None -> "-"
+            | Some st ->
+                Printf.sprintf "%d/%d/%d/%b/%d" st.Eywa_symex.Exec.paths_completed
+                  st.Eywa_symex.Exec.paths_pruned st.Eywa_symex.Exec.solver_calls
+                  st.Eywa_symex.Exec.timed_out st.Eywa_symex.Exec.ticks_used)
+          :: List.map Testcase.to_string r.tests)
+        s.results)
+
+(* Same, minus the wall-clock fields — for comparing two independent
+   computations (different runs measure different times). *)
+let det_fingerprint (s : Synthesis.t) =
+  String.concat "\n"
+    (Printf.sprintf "loc=%d/%d programs=%d" s.loc_min s.loc_max
+       (List.length s.programs)
+     :: List.map Testcase.to_string s.unique_tests
+    @ List.concat_map
+        (fun (r : Synthesis.model_result) ->
+          Printf.sprintf "model %d loc=%d err=%s" r.index r.c_loc
+            (Option.value ~default:"-" r.compile_error)
+          :: List.map Testcase.to_string r.tests)
+        s.results)
+
+let model = Bgp_models.rr
+
+let config (m : Model_def.t) =
+  {
+    Pipeline.default_config with
+    k = 4;
+    timeout = 10.0;
+    alphabet = m.alphabet;
+  }
+
+let run ?cache ?sink ~jobs (m : Model_def.t) =
+  match
+    Pipeline.run ?cache ?sink ~config:(config m) ~jobs ~oracle m.graph
+      ~main:m.main
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.fail e
+
+(* ----- warm cache = cold run, at jobs=1 and jobs=4 ----- *)
+
+let test_warm_equals_cold () =
+  List.iter
+    (fun jobs ->
+      let cache = Cache.create () in
+      let cold = run ~cache ~jobs model in
+      check_int
+        (Printf.sprintf "jobs=%d: cold run misses every draw" jobs)
+        4 (Cache.misses cache);
+      let warm = run ~cache ~jobs model in
+      check_int
+        (Printf.sprintf "jobs=%d: warm run hits every draw" jobs)
+        4 (Cache.hits cache);
+      check_string
+        (Printf.sprintf "jobs=%d: warm fingerprint = cold (incl. wall fields)"
+           jobs)
+        (full_fingerprint cold) (full_fingerprint warm);
+      (* an uncached run is a separate computation: its wall-clock
+         fields differ, everything deterministic is identical *)
+      let uncached = run ~jobs model in
+      check_string
+        (Printf.sprintf "jobs=%d: cached = uncached" jobs)
+        (det_fingerprint uncached) (det_fingerprint cold))
+    [ 1; 4 ]
+
+(* ----- key sensitivity ----- *)
+
+let base_prompts = [ ("main", "record_applies"); ("module:m", "prompt text") ]
+
+let key ?(oracle_name = "gpt") ?(prompts = base_prompts) ?(index = 0) cfg =
+  Cache.Key.digest (Pipeline.draw_key ~oracle_name ~config:cfg ~prompts ~index)
+
+let test_key_sensitivity () =
+  let cfg = config model in
+  let base = key cfg in
+  check_string "same inputs, same key" base (key cfg);
+  let differs what k' = check (what ^ " changes the key") true (base <> k') in
+  differs "seed" (key { cfg with base_seed = cfg.base_seed + 1 });
+  differs "temperature" (key { cfg with temperature = 0.7 });
+  differs "tick budget" (key { cfg with timeout = cfg.timeout +. 1.0 });
+  differs "max_paths" (key { cfg with max_paths = cfg.max_paths + 1 });
+  differs "max_steps" (key { cfg with max_steps = cfg.max_steps + 1 });
+  differs "max_solver_decisions"
+    (key { cfg with max_solver_decisions = cfg.max_solver_decisions + 1 });
+  differs "samples_per_path"
+    (key { cfg with samples_per_path = cfg.samples_per_path + 1 });
+  differs "alphabet" (key { cfg with alphabet = [ 'a'; 'b' ] });
+  differs "draw index" (key ~index:1 cfg);
+  differs "oracle name" (key ~oracle_name:"other" cfg);
+  differs "prompt text"
+    (key ~prompts:[ ("main", "record_applies"); ("module:m", "other") ] cfg);
+  (* k is deliberately NOT in the key: draw i of a k=4 run must reuse
+     draw i of a k=12 run (the fig10 sweep's prefix reuse) *)
+  check_string "k does not change the key" base (key { cfg with k = 12 });
+  (* index and base_seed fold into one effective seed *)
+  check_string "seed+1/index+0 = seed+0/index+1"
+    (key { cfg with base_seed = cfg.base_seed + 1 })
+    (key ~index:1 cfg)
+
+let key_seed_injective =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200
+       ~name:"distinct effective seeds give distinct key digests"
+       QCheck2.Gen.(pair (int_range 0 10_000) (int_range 0 10_000))
+       (fun (s1, s2) ->
+         let cfg = config model in
+         let k1 = key { cfg with base_seed = s1 }
+         and k2 = key { cfg with base_seed = s2 } in
+         if s1 = s2 then k1 = k2 else k1 <> k2))
+
+(* ----- artifact codec ----- *)
+
+let draw_roundtrip (m : Model_def.t) index =
+  let f =
+    match m.main with Emodule.Func f -> f | _ -> Alcotest.fail "main not Func"
+  in
+  let order =
+    match Graph.synthesis_order m.graph ~main:m.main with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  let artifact =
+    Pipeline.run_draw ~oracle ~config:(config m) m.graph ~main:f ~order index
+  in
+  let encoded = Pipeline.artifact_to_string artifact in
+  match Pipeline.artifact_of_string m.graph ~main:f encoded with
+  | Error e -> Alcotest.fail ("decode failed: " ^ e)
+  | Ok decoded ->
+      check
+        (Printf.sprintf "%s draw %d round-trips exactly" m.id index)
+        true (decoded = artifact);
+      (* and the re-encoding is stable *)
+      check_string "encode . decode . encode is the identity" encoded
+        (Pipeline.artifact_to_string decoded)
+
+let test_artifact_roundtrip () =
+  draw_roundtrip Bgp_models.rr 0;
+  draw_roundtrip Bgp_models.rr 2;
+  (* a model with regex pipes, struct/enum inputs and string atoms *)
+  draw_roundtrip Dns_models.cname 1
+
+(* ----- on-disk persistence ----- *)
+
+let temp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "eywa-cache-test-%d" (Unix.getpid ()))
+  in
+  (* start clean: stale artifacts from a previous run would hide
+     misses *)
+  if Sys.file_exists d then
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat d f))
+      (Sys.readdir d);
+  d
+
+let test_disk_roundtrip () =
+  let dir = temp_dir () in
+  let c1 = Cache.create ~dir () in
+  let cold = run ~cache:c1 ~jobs:1 model in
+  check_int "cold run misses" 4 (Cache.misses c1);
+  (* a fresh cache on the same directory models a fresh process *)
+  let c2 = Cache.create ~dir () in
+  let warm = run ~cache:c2 ~jobs:1 model in
+  check_int "fresh cache on the same dir hits every draw" 4 (Cache.hits c2);
+  check_string "disk round-trip is byte-identical" (full_fingerprint cold)
+    (full_fingerprint warm)
+
+(* ----- cache contents are jobs-invariant ----- *)
+
+(* The stored artifact's only machine-dependent content is its "gen"
+   and "sym" wall-seconds lines (quoted fields escape newlines, so no
+   embedded text can masquerade as one); drop them so two independent
+   runs can be compared. *)
+let mask_wall_fields payload =
+  String.concat "\n"
+    (List.filter
+       (fun line ->
+         not
+           (String.length line >= 4
+           && (String.sub line 0 4 = "gen " || String.sub line 0 4 = "sym ")))
+       (String.split_on_char '\n' payload))
+
+let test_cache_contents_jobs_invariant () =
+  let c1 = Cache.create () and c4 = Cache.create () in
+  ignore (run ~cache:c1 ~jobs:1 model);
+  ignore (run ~cache:c4 ~jobs:4 model);
+  let contents c =
+    List.map (fun (slot, payload) -> (slot, mask_wall_fields payload))
+      (Cache.to_list c)
+  in
+  check "jobs=1 and jobs=4 store identical cache contents" true
+    (contents c1 = contents c4)
+
+(* ----- instrumentation ----- *)
+
+let events_sans_cache c =
+  List.filter
+    (function
+      | Instrument.Cache_hit _ | Instrument.Cache_miss _ -> false | _ -> true)
+    (Instrument.Collector.events c)
+
+(* Zero the only machine-dependent event fields, for comparing two
+   independent computations. *)
+let norm_event = function
+  | Instrument.Draw_finished { index; tests; _ } ->
+      Instrument.Draw_finished
+        { index; tests; gen_seconds = 0.0; symex_seconds = 0.0 }
+  | e -> e
+
+let test_event_stream_deterministic () =
+  let collect ?cache ~jobs () =
+    let c = Instrument.Collector.create () in
+    ignore (run ?cache ~sink:(Instrument.Collector.sink c) ~jobs model);
+    c
+  in
+  let c1 = collect ~jobs:1 () and c4 = collect ~jobs:4 () in
+  check "event stream jobs=1 = jobs=4" true
+    (List.map norm_event (Instrument.Collector.events c1)
+    = List.map norm_event (Instrument.Collector.events c4));
+  (* warm run: same events modulo Cache_hit/Cache_miss *)
+  let cache = Cache.create () in
+  let cold = collect ~cache ~jobs:1 () in
+  let warm = collect ~cache ~jobs:1 () in
+  check "hit replays the miss's draw events" true
+    (events_sans_cache cold = events_sans_cache warm);
+  let s_cold = Instrument.Collector.summary cold
+  and s_warm = Instrument.Collector.summary warm in
+  check_int "cold misses" 4 s_cold.Instrument.Collector.cache_misses;
+  check_int "warm hits" 4 s_warm.Instrument.Collector.cache_hits;
+  check_int "same ticks either way" s_cold.Instrument.Collector.symex_ticks
+    s_warm.Instrument.Collector.symex_ticks
+
+let test_collector_summary () =
+  let c = Instrument.Collector.create () in
+  ignore (run ~sink:(Instrument.Collector.sink c) ~jobs:2 model);
+  let s = Instrument.Collector.summary c in
+  check_int "one Draw_finished per draw" 4 s.Instrument.Collector.draws;
+  check "symex did deterministic work" true
+    (s.Instrument.Collector.symex_ticks > 0);
+  check "paths were completed" true (s.Instrument.Collector.paths_completed > 0);
+  check_int "suite aggregated once"
+    (List.length (run ~jobs:1 model).unique_tests)
+    s.Instrument.Collector.unique_tests;
+  Instrument.Collector.clear c;
+  check_int "clear empties the buffer" 0
+    (List.length (Instrument.Collector.events c));
+  (* tee fans one event out to both sinks *)
+  let a = ref 0 and b = ref 0 in
+  Instrument.tee (fun _ -> incr a) (fun _ -> incr b)
+    (Instrument.Draw_started { index = 0 });
+  check_int "tee reaches the first sink" 1 !a;
+  check_int "tee reaches the second sink" 1 !b
+
+let suite =
+  [
+    Alcotest.test_case "warm cache = cold run (jobs 1 and 4)" `Slow
+      test_warm_equals_cold;
+    Alcotest.test_case "cache key covers every draw input" `Quick
+      test_key_sensitivity;
+    key_seed_injective;
+    Alcotest.test_case "draw artifacts round-trip the codec" `Slow
+      test_artifact_roundtrip;
+    Alcotest.test_case "on-disk cache round-trips across processes" `Slow
+      test_disk_roundtrip;
+    Alcotest.test_case "cache contents: jobs=1 = jobs=4" `Slow
+      test_cache_contents_jobs_invariant;
+    Alcotest.test_case "event stream is jobs- and cache-invariant" `Slow
+      test_event_stream_deterministic;
+    Alcotest.test_case "collector summary counts stages" `Slow
+      test_collector_summary;
+  ]
