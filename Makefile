@@ -1,7 +1,7 @@
 # Development entry points. `make check` is the PR gate: everything
 # builds, every test passes, and formatting is clean.
 
-.PHONY: all build test fmt fmt-apply check bench clean
+.PHONY: all build test fmt fmt-apply fuzz-smoke check bench clean
 
 all: build
 
@@ -27,7 +27,14 @@ fmt:
 fmt-apply:
 	dune build @fmt --auto-promote || true
 
-check: build test fmt
+# smoke-scale run of the bench fuzz stage: fails if the combined
+# symex+fuzz suite stops strictly increasing edge coverage somewhere
+fuzz-smoke:
+	dune exec bench/main.exe -- fast fuzz --fuzz-json /tmp/eywa-fuzz-smoke.json
+	@grep -q '"any_strict_increase": true' /tmp/eywa-fuzz-smoke.json \
+	  || { echo "fuzz-smoke: no model gained edge coverage"; exit 1; }
+
+check: build test fuzz-smoke fmt
 
 bench:
 	dune exec bench/main.exe -- fast

@@ -9,12 +9,16 @@
      parallel — jobs=1 vs jobs=N wall clock for the pooled stages
      micro    — Bechamel micro-benchmarks of the core engines
 
+     fuzz     — PR3: symex-only vs symex+fuzz edge coverage and
+                difftest disagreements (writes BENCH_PR3.json)
+
    Run with no argument to execute everything in order. Pass [fast] as
    a final argument for a quick smoke-scale run; [--jobs N] sizes the
    domain pools, [--json PATH] writes the parallel stage's
    measurements as JSON, [--cache-dir DIR] persists the synthesis
-   cache on disk, and [--summary-json PATH] writes per-stage
-   instrumentation totals (ticks, cache hits/misses) after the run.
+   cache on disk, [--summary-json PATH] writes per-stage
+   instrumentation totals (ticks, cache hits/misses) after the run,
+   and [--fuzz-json PATH] redirects the fuzz stage's JSON.
    Counts reproduce the
    paper's *shape* (relative sizes, who hits the timeout, diminishing
    returns around k = 10), not its absolute numbers: the substrate here
@@ -35,17 +39,27 @@ module Difftest = Eywa_difftest.Difftest
 
 let oracle = Eywa_llm.Gpt.oracle ()
 
-type scale = { k : int; timeout_scale : float; fig10_max_k : int; fig10_seeds : int }
+type scale = {
+  k : int;
+  timeout_scale : float;
+  fig10_max_k : int;
+  fig10_seeds : int;
+  fuzz_budget : int;
+}
 
-let full_scale = { k = 10; timeout_scale = 0.5; fig10_max_k = 12; fig10_seeds = 2 }
-let fast_scale = { k = 3; timeout_scale = 0.1; fig10_max_k = 6; fig10_seeds = 1 }
+let full_scale =
+  { k = 10; timeout_scale = 0.5; fig10_max_k = 12; fig10_seeds = 2; fuzz_budget = 1000 }
 
-(* --jobs N / --json PATH / --cache-dir DIR / --summary-json PATH,
-   set by the driver before any stage runs *)
+let fast_scale =
+  { k = 3; timeout_scale = 0.1; fig10_max_k = 6; fig10_seeds = 1; fuzz_budget = 250 }
+
+(* --jobs N / --json PATH / --cache-dir DIR / --summary-json PATH /
+   --fuzz-json PATH, set by the driver before any stage runs *)
 let jobs : int option ref = ref None
 let json_path : string option ref = ref None
 let cache_dir : string option ref = ref None
 let summary_json : string option ref = ref None
+let fuzz_json : string ref = ref "BENCH_PR3.json"
 
 (* ----- shared synthesis cache + instrumentation ----- *)
 
@@ -618,6 +632,96 @@ let parallel scale =
       Printf.printf "wrote %s\n" path
       with Sys_error m -> Printf.eprintf "error: cannot write JSON: %s\n" m))
 
+(* ----- fuzz stage (PR3) ----- *)
+
+(* Symex-only vs symex+fuzz: for each DNS model, fuzz the compiled
+   draws seeded from their own symex tests, then compare the edge
+   coverage of the two suites and the difftest disagreement counts on
+   the bug-seeded implementation set. *)
+let fuzz_stage scale =
+  Printf.printf
+    "\n%s\nFuzz: symex-only vs symex+fuzz (budget %d execs/draw)\n%s\n" line
+    scale.fuzz_budget line;
+  Printf.printf "%-11s %7s %7s  %-13s %-13s %9s %9s\n" "Model" "symex" "fuzz"
+    "edges(symex)" "edges(+fuzz)" "dis(symex)" "dis(+fuzz)";
+  let open Eywa_models.Dns_models in
+  let models = [ cname; dname; rcode; loop ] in
+  let fuzz_config =
+    { Eywa_fuzz.Fuzz.default_config with budget = scale.fuzz_budget }
+  in
+  let rows =
+    List.map
+      (fun (m : Model_def.t) ->
+        let s = synthesize scale m in
+        let f =
+          match
+            Model_def.fuzz ~cache:(cache ()) ~sink ~fuzz_config ~k:scale.k
+              ~timeout:(Float.max 1.0 (m.timeout *. scale.timeout_scale))
+              ?jobs:!jobs ~oracle m s
+          with
+          | Ok f -> f
+          | Error e -> failwith (m.id ^ ": fuzz: " ^ e)
+        in
+        let sum sel =
+          List.fold_left
+            (fun acc (d : Eywa_fuzz.Fuzz.draw_fuzz) -> acc + sel d)
+            0 f.Eywa_fuzz.Fuzz.per_draw
+        in
+        let edges_seed = sum (fun d -> d.edges_seed) in
+        let edges_after = sum (fun d -> d.edges_after) in
+        let edges_static = sum (fun d -> d.edges_static) in
+        let dis tests =
+          (Dns_adapter.run ?jobs:!jobs ~model_id:m.id
+             ~version:Eywa_dns.Impls.Old tests)
+            .Difftest.disagreeing_tests
+        in
+        let dis_symex = dis s.Pipeline.unique_tests in
+        let dis_combined = dis f.Eywa_fuzz.Fuzz.combined_tests in
+        Printf.printf "%-11s %7d %7d  %4d / %-6d %4d / %-6d %9d %9d\n" m.id
+          (List.length s.Pipeline.unique_tests)
+          (List.length f.Eywa_fuzz.Fuzz.fuzz_tests)
+          edges_seed edges_static edges_after edges_static dis_symex
+          dis_combined;
+        ( m.id,
+          List.length s.Pipeline.unique_tests,
+          List.length f.Eywa_fuzz.Fuzz.fuzz_tests,
+          edges_seed, edges_after, edges_static, dis_symex, dis_combined ))
+      models
+  in
+  let any_strict_increase =
+    List.exists (fun (_, _, _, seed, after, _, _, _) -> after > seed) rows
+  in
+  Printf.printf "%s\nedge coverage strictly increased on %d of %d models\n" line
+    (List.length
+       (List.filter (fun (_, _, _, seed, after, _, _, _) -> after > seed) rows))
+    (List.length rows);
+  let path = !fuzz_json in
+  try
+    let oc = open_out path in
+    let row_json (id, symex, fuzz, seed, after, static, d_sy, d_co) =
+      Printf.sprintf
+        "    { \"model\": %S, \"symex_tests\": %d, \"fuzz_tests\": %d, \
+         \"edges_symex\": %d, \"edges_combined\": %d, \"edges_static\": %d, \
+         \"disagreeing_symex\": %d, \"disagreeing_combined\": %d, \
+         \"strict_increase\": %b }"
+        id symex fuzz seed after static d_sy d_co (after > seed)
+    in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"eywa-fuzz\",\n\
+      \  \"fuzz_budget\": %d,\n\
+      \  \"models\": [\n\
+       %s\n\
+      \  ],\n\
+      \  \"any_strict_increase\": %b\n\
+       }\n"
+      scale.fuzz_budget
+      (String.concat ",\n" (List.map row_json rows))
+      any_strict_increase;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  with Sys_error m -> Printf.eprintf "error: cannot write fuzz JSON: %s\n" m
+
 (* ----- driver ----- *)
 
 (* Per-stage instrumentation: (name, wall seconds, collector summary
@@ -696,6 +800,9 @@ let () =
     | "--summary-json" :: p :: rest ->
         summary_json := Some p;
         parse_flags rest
+    | "--fuzz-json" :: p :: rest ->
+        fuzz_json := p;
+        parse_flags rest
     | a :: rest -> a :: parse_flags rest
   in
   let args = parse_flags (Array.to_list Sys.argv |> List.tl) in
@@ -712,6 +819,7 @@ let () =
   if wants "timing" then staged "timing" (fun () -> timing scale);
   if wants "ablate" then staged "ablate" (fun () -> ablate scale);
   if wants "parallel" then staged "parallel" (fun () -> parallel scale);
+  if wants "fuzz" then staged "fuzz" (fun () -> fuzz_stage scale);
   if wants "micro" then staged "micro" micro;
   let total_seconds = Unix.gettimeofday () -. t0 in
   Printf.printf "\n%s\ntotal bench time: %.1f s%s\n" line total_seconds

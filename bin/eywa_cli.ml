@@ -3,6 +3,7 @@
    eywa models                 list the Table 2 models
    eywa prompt MODEL           print the generated LLM prompts
    eywa run MODEL              synthesize and print test cases
+   eywa fuzz MODEL             synthesize, then coverage-guided fuzz the suite
    eywa difftest MODEL         run differential testing and triage
    eywa stats MODEL            synthesize + difftest, print stage statistics
    eywa bugs                   print the known-bug catalog (Table 3 rows)
@@ -76,6 +77,25 @@ let cache_of = function
 let limit_arg =
   let doc = "Print at most this many tests." in
   Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N" ~doc)
+
+let fuzz_seed_arg =
+  let doc = "Base fuzz seed; draw i fuzzes at SEED + i." in
+  Arg.(value & opt int 42 & info [ "fuzz-seed" ] ~docv:"SEED" ~doc)
+
+let budget_arg =
+  let doc =
+    "Candidate executions per model draw — a deterministic tick budget, \
+     never wall clock."
+  in
+  Arg.(value & opt int 500 & info [ "budget" ] ~docv:"N" ~doc)
+
+let max_new_tests_arg =
+  let doc = "Stop a draw's fuzz loop after this many coverage-increasing tests." in
+  Arg.(value & opt int 64 & info [ "max-new-tests" ] ~docv:"N" ~doc)
+
+let suite_coverage (s : Eywa_core.Pipeline.t) (m : Model_def.t) tests =
+  Eywa_fuzz.Coverage.of_suite ~graph:m.Model_def.graph ~main:s.main
+    s.programs tests
 
 let save_arg =
   let doc = "Also save the generated suite to this file." in
@@ -165,6 +185,74 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Synthesize a model and print its generated tests.")
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
                $ timeout_arg $ jobs_arg $ limit_arg $ save_arg $ cache_dir_arg))
+
+let fuzz_cmd =
+  let run id k temperature seed timeout jobs fuzz_seed budget max_new_tests
+      limit save cache_dir =
+    match find_model id with
+    | Error e -> `Error (false, e)
+    | Ok m -> (
+        let cache = cache_of cache_dir in
+        match
+          Model_def.synthesize ?cache ~k ~temperature ~seed ?timeout ?jobs
+            ~oracle m
+        with
+        | Error e -> `Error (false, e)
+        | Ok s -> (
+            let fuzz_config =
+              {
+                Eywa_fuzz.Fuzz.default_config with
+                fuzz_seed;
+                budget;
+                max_new_tests;
+              }
+            in
+            match
+              Model_def.fuzz ?cache ~fuzz_config ~k ~temperature ~seed ?timeout
+                ?jobs ~oracle m s
+            with
+            | Error e -> `Error (false, e)
+            | Ok f ->
+                Printf.printf
+                  "%s: %d symex tests + %d fuzz tests = %d combined\n" m.id
+                  (List.length s.unique_tests)
+                  (List.length f.Eywa_fuzz.Fuzz.fuzz_tests)
+                  (List.length f.Eywa_fuzz.Fuzz.combined_tests);
+                List.iter
+                  (fun (d : Eywa_fuzz.Fuzz.draw_fuzz) ->
+                    Printf.printf
+                      "  draw %2d: %4d execs, edges %3d -> %3d of %3d, %d new \
+                       tests\n"
+                      d.f_index d.execs d.edges_seed d.edges_after
+                      d.edges_static
+                      (List.length d.new_tests))
+                  f.Eywa_fuzz.Fuzz.per_draw;
+                List.iteri
+                  (fun i t ->
+                    if i < limit then
+                      print_endline ("  " ^ Eywa_core.Testcase.to_string t))
+                  f.Eywa_fuzz.Fuzz.fuzz_tests;
+                if List.length f.Eywa_fuzz.Fuzz.fuzz_tests > limit then
+                  Printf.printf "  ... (%d more)\n"
+                    (List.length f.Eywa_fuzz.Fuzz.fuzz_tests - limit);
+                (match save with
+                | Some path ->
+                    Eywa_core.Serialize.save path f.Eywa_fuzz.Fuzz.combined_tests;
+                    Printf.printf "saved %d tests to %s\n"
+                      (List.length f.Eywa_fuzz.Fuzz.combined_tests)
+                      path
+                | None -> ());
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Synthesize a model, then grow its test suite with the \
+          coverage-guided mutational fuzzer (deterministic in the fuzz seed \
+          and execution budget).")
+    Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
+               $ timeout_arg $ jobs_arg $ fuzz_seed_arg $ budget_arg
+               $ max_new_tests_arg $ limit_arg $ save_arg $ cache_dir_arg))
 
 let replay_cmd =
   let run id suite version jobs =
@@ -259,8 +347,10 @@ let report_cmd =
           with
           | Error e -> `Error (false, e)
           | Ok s ->
+              let coverage = suite_coverage s m s.unique_tests in
               print_string
-                (Eywa_models.Report.dns ~model_id:m.id ~version s.unique_tests);
+                (Eywa_models.Report.dns ~coverage ~model_id:m.id ~version
+                   s.unique_tests);
               `Ok ())
   in
   Cmd.v
@@ -307,6 +397,14 @@ let stats_cmd =
             print_endline
               (Format.asprintf "%a" Eywa_core.Instrument.Collector.pp_summary
                  (Eywa_core.Instrument.Collector.summary collector));
+            let hit, total = suite_coverage s m s.unique_tests in
+            Printf.printf "coverage     %d / %d branch edges over %d models%s\n"
+              hit total
+              (List.length s.programs)
+              (if total > 0 then
+                 Printf.sprintf " (%.0f%%)"
+                   (100.0 *. float_of_int hit /. float_of_int total)
+               else "");
             `Ok ())
   in
   Cmd.v
@@ -349,5 +447,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ models_cmd; prompt_cmd; run_cmd; replay_cmd; difftest_cmd;
-            report_cmd; stats_cmd; bugs_cmd ]))
+          [ models_cmd; prompt_cmd; run_cmd; fuzz_cmd; replay_cmd;
+            difftest_cmd; report_cmd; stats_cmd; bugs_cmd ]))

@@ -18,6 +18,14 @@ type event =
   | Cache_hit of { stage : string; key : string }
   | Cache_miss of { stage : string; key : string }
   | Suite_aggregated of { draws : int; unique_tests : int }
+  | Fuzz_done of {
+      index : int;
+      execs : int;
+      edges_seed : int;
+      edges_after : int;
+      new_tests : int;
+    }
+  | Fuzz_aggregated of { draws : int; fuzz_tests : int; combined_tests : int }
   | Difftest_done of {
       label : string;
       total_tests : int;
@@ -47,6 +55,9 @@ module Collector = struct
     cache_hits : int;
     cache_misses : int;
     unique_tests : int;
+    fuzz_draws : int;
+    fuzz_execs : int;
+    fuzz_new_tests : int;
     difftests : int;
     disagreeing_tests : int;
   }
@@ -75,8 +86,8 @@ module Collector = struct
       draws = 0; rejected = 0; tests = 0; gen_seconds = 0.0;
       symex_seconds = 0.0; symex_ticks = 0; paths_completed = 0;
       paths_pruned = 0; solver_calls = 0; timeouts = 0; cache_hits = 0;
-      cache_misses = 0; unique_tests = 0; difftests = 0;
-      disagreeing_tests = 0;
+      cache_misses = 0; unique_tests = 0; fuzz_draws = 0; fuzz_execs = 0;
+      fuzz_new_tests = 0; difftests = 0; disagreeing_tests = 0;
     }
 
   let summary t =
@@ -100,6 +111,11 @@ module Collector = struct
         | Cache_miss _ -> { s with cache_misses = s.cache_misses + 1 }
         | Suite_aggregated { unique_tests; _ } ->
             { s with unique_tests = s.unique_tests + unique_tests }
+        | Fuzz_done { execs; new_tests; _ } ->
+            { s with fuzz_draws = s.fuzz_draws + 1;
+              fuzz_execs = s.fuzz_execs + execs;
+              fuzz_new_tests = s.fuzz_new_tests + new_tests }
+        | Fuzz_aggregated _ -> s
         | Difftest_done { total_tests = _; disagreeing_tests; _ } ->
             { s with difftests = s.difftests + 1;
               disagreeing_tests = s.disagreeing_tests + disagreeing_tests })
@@ -113,8 +129,10 @@ module Collector = struct
        pruned), %d solver calls, %d timeouts@\n\
        cache        %d hits, %d misses@\n\
        aggregation  %d unique tests@\n\
+       fuzz         %d draws, %d execs (deterministic ticks), %d new tests@\n\
        difftest     %d runs, %d disagreeing tests"
       s.draws s.rejected s.tests s.gen_seconds s.symex_seconds s.symex_ticks
       s.paths_completed s.paths_pruned s.solver_calls s.timeouts s.cache_hits
-      s.cache_misses s.unique_tests s.difftests s.disagreeing_tests
+      s.cache_misses s.unique_tests s.fuzz_draws s.fuzz_execs s.fuzz_new_tests
+      s.difftests s.disagreeing_tests
 end

@@ -39,6 +39,14 @@ type event =
   | Cache_hit of { stage : string; key : string  (** hex digest *) }
   | Cache_miss of { stage : string; key : string }
   | Suite_aggregated of { draws : int; unique_tests : int }
+  | Fuzz_done of {
+      index : int;
+      execs : int;  (** candidate executions = deterministic tick budget *)
+      edges_seed : int;  (** edges covered by the symex seed suite *)
+      edges_after : int;  (** edges covered after fuzzing *)
+      new_tests : int;  (** coverage-increasing tests the fuzzer kept *)
+    }
+  | Fuzz_aggregated of { draws : int; fuzz_tests : int; combined_tests : int }
   | Difftest_done of {
       label : string;  (** model id or suite name *)
       total_tests : int;
@@ -74,6 +82,9 @@ module Collector : sig
     cache_hits : int;
     cache_misses : int;
     unique_tests : int;  (** summed over [Suite_aggregated] events *)
+    fuzz_draws : int;  (** [Fuzz_done] events *)
+    fuzz_execs : int;  (** candidate executions, a deterministic counter *)
+    fuzz_new_tests : int;
     difftests : int;
     disagreeing_tests : int;
   }

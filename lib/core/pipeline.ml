@@ -275,11 +275,10 @@ let aggregate ~main draws =
 
 (* ----- cache keys ----- *)
 
-let draw_key ~oracle_name ~config ~prompts ~index =
-  Cache.Key.v ~stage:"draw"
-    (("oracle", oracle_name)
-     :: prompts
-    @ [
+let draw_key_parts ~oracle_name ~config ~prompts ~index =
+  ("oracle", oracle_name)
+  :: prompts
+  @ [
         (* the effective seed, so a draw is shared between any two runs
            whose base_seed + index coincide — in particular between
            k-sweep prefixes *)
@@ -291,8 +290,11 @@ let draw_key ~oracle_name ~config ~prompts ~index =
         ("max_solver_decisions", string_of_int config.max_solver_decisions);
         ("alphabet", String.init (List.length config.alphabet)
                        (List.nth config.alphabet));
-        ("samples_per_path", string_of_int config.samples_per_path);
-      ])
+      ("samples_per_path", string_of_int config.samples_per_path);
+    ]
+
+let draw_key ~oracle_name ~config ~prompts ~index =
+  Cache.Key.v ~stage:"draw" (draw_key_parts ~oracle_name ~config ~prompts ~index)
 
 (* ----- the draw artifact codec ----- *)
 

@@ -149,6 +149,16 @@ val aggregate :
 
 (** {1 Cache keys and artifacts} *)
 
+val draw_key_parts :
+  oracle_name:string ->
+  config:config ->
+  prompts:(string * string) list ->
+  index:int ->
+  (string * string) list
+(** The (name, value) pairs {!draw_key} hashes, exposed so stages
+    layered on a draw (e.g. [Eywa_fuzz]) can extend the exact same
+    inputs with their own parameters instead of re-deriving them. *)
+
 val draw_key :
   oracle_name:string ->
   config:config ->

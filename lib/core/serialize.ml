@@ -91,11 +91,13 @@ let read_quoted c =
         | 'n' ->
             Buffer.add_char buf '\n';
             go ()
-        | 'x' ->
+        | 'x' -> (
             let h1 = next c and h2 = next c in
-            let v = int_of_string (Printf.sprintf "0x%c%c" h1 h2) in
-            Buffer.add_char buf (Char.chr v);
-            go ()
+            match int_of_string_opt (Printf.sprintf "0x%c%c" h1 h2) with
+            | None -> bad "bad hex escape \\x%c%c at %d" h1 h2 (c.pos - 2)
+            | Some v ->
+                Buffer.add_char buf (Char.chr v);
+                go ())
         | ch ->
             Buffer.add_char buf ch;
             go ())

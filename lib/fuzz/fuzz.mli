@@ -1,0 +1,107 @@
+(** The coverage-guided mutational fuzz stage.
+
+    A second test generator beside symbolic execution: each compiled
+    model draw seeds a corpus from its own symex tests, then mutates
+    corpus entries under a deterministic execution budget, keeping a
+    candidate iff it covers a branch edge nothing before it covered
+    (AFL's "new coverage" rule on the interpreter's edge map).
+
+    Determinism contract — the same invariants as {!Eywa_core.Pipeline}:
+    a fuzz draw is a pure function of (program, its symex tests, config,
+    index). Randomness comes only from {!Rng} seeded at
+    [fuzz_seed + index]; the budget is a count of candidate executions
+    (a deterministic tick budget, never wall clock); coverage maps are
+    used for membership and counting only, so hash order is invisible.
+    Fixed (seed, budget, mutator set) gives byte-identical corpus and
+    tests at any [jobs] value and on warm or cold cache. *)
+
+module Pipeline = Eywa_core.Pipeline
+module Cache = Eywa_core.Cache
+module Instrument = Eywa_core.Instrument
+module Testcase = Eywa_core.Testcase
+
+type config = {
+  fuzz_seed : int;  (** base seed; draw [i] fuzzes at [fuzz_seed + i] *)
+  budget : int;  (** candidate executions per draw (deterministic ticks) *)
+  max_new_tests : int;  (** stop a draw early after this many keepers *)
+  mutators : Mutate.kind list;  (** enabled mutators, canonical order *)
+  fuel : int;  (** interpreter fuel per candidate execution *)
+}
+
+val default_config : config
+(** seed 42, 500 executions, 64 keepers, every mutator, fuel 100k. *)
+
+type draw_fuzz = {
+  f_index : int;  (** the model-draw index this fuzz run extends *)
+  execs : int;  (** candidate executions actually spent *)
+  edges_seed : int;  (** edges covered by the symex seed suite alone *)
+  edges_after : int;  (** edges covered after fuzzing *)
+  edges_static : int;  (** the program's whole static edge universe *)
+  new_tests : Testcase.t list;  (** coverage-increasing keepers, in order *)
+}
+
+type t = {
+  per_draw : draw_fuzz list;  (** one per compiled draw, in index order *)
+  fuzz_tests : Testcase.t list;
+      (** all keepers, deduped, minus any test already in the symex
+          suite *)
+  combined_tests : Testcase.t list;
+      (** the symex unique suite followed by [fuzz_tests] — feed this
+          to [Difftest.run] unchanged *)
+}
+
+(** {1 Cache key and artifact} *)
+
+val fuzz_key :
+  oracle_name:string ->
+  pipeline:Pipeline.config ->
+  config:config ->
+  prompts:(string * string) list ->
+  index:int ->
+  Cache.Key.t
+(** Extends {!Pipeline.draw_key_parts} — which already covers every
+    input the underlying draw (and hence the seed suite) depends on —
+    with the fuzz stage's own inputs: effective fuzz seed
+    ([fuzz_seed + index]), execution budget, keeper cap, mutator set,
+    and interpreter fuel. Like the draw key it excludes [k], wall
+    time, machine, and pool size. *)
+
+val artifact_to_string : draw_fuzz -> string
+(** No wall-clock fields: a decoded artifact is structurally equal to
+    the run that stored it. *)
+
+val artifact_of_string : string -> (draw_fuzz, string) result
+(** Inverse of {!artifact_to_string}; [Error] (never an exception) on
+    truncated or malformed payloads. *)
+
+(** {1 Stage functions} *)
+
+val fuzz_draw :
+  natives:(string * (Eywa_minic.Value.t list -> Eywa_minic.Value.t)) list ->
+  main:Eywa_core.Emodule.func ->
+  config:config ->
+  alphabet:char list ->
+  index:int ->
+  Eywa_minic.Ast.program ->
+  Testcase.t list ->
+  draw_fuzz
+(** One draw's fuzz loop — the pure parallel unit {!fuzz_of_seeds}
+    fans out. [alphabet] is the model's character domain (the same one
+    symbolic strings range over). *)
+
+val fuzz_of_seeds :
+  ?cache:Cache.t ->
+  ?sink:Instrument.sink ->
+  ?config:config ->
+  ?jobs:int ->
+  oracle_name:string ->
+  pipeline:Pipeline.config ->
+  Eywa_core.Graph.t ->
+  Pipeline.t ->
+  (t, string) result
+(** The staged engine: pair each compiled draw of the synthesis result
+    with its program, probe the cache in index order, fan misses out
+    over {!Eywa_core.Pool}, store, merge by index, replay
+    [Fuzz_done] events at the merge point and emit [Fuzz_aggregated].
+    [pipeline] must be the config the synthesis ran with (it is part
+    of the cache key). *)

@@ -1,0 +1,210 @@
+module Ast = Eywa_minic.Ast
+module Value = Eywa_minic.Value
+
+type kind = Byte | Arith | Enum | Havoc | Splice
+
+let all = [ Byte; Arith; Enum; Havoc; Splice ]
+
+let kind_to_string = function
+  | Byte -> "byte"
+  | Arith -> "arith"
+  | Enum -> "enum"
+  | Havoc -> "havoc"
+  | Splice -> "splice"
+
+let kind_of_string = function
+  | "byte" -> Some Byte
+  | "arith" -> Some Arith
+  | "enum" -> Some Enum
+  | "havoc" -> Some Havoc
+  | "splice" -> Some Splice
+  | _ -> None
+
+(* ----- scalar sites ----- *)
+
+(* A mutation targets one scalar "site" of the input value tree: a
+   bool/char/int/enum leaf or a single byte of a string buffer.
+   [which] restricts the site class: [`Enum] targets enum leaves only
+   (the Enum mutator), [`All] everything. *)
+
+type site =
+  | Sbool of bool
+  | Schar of char
+  | Sint of int
+  | Senum of string * int
+  | Sbyte of char
+
+let rec count_sites which v =
+  match v with
+  | Value.Vunit -> 0
+  | Value.Vbool _ -> ( match which with `All -> 1 | `Enum -> 0)
+  | Value.Vchar _ -> ( match which with `All -> 1 | `Enum -> 0)
+  | Value.Vint _ -> ( match which with `All -> 1 | `Enum -> 0)
+  | Value.Venum _ -> 1
+  | Value.Vstring raw -> (
+      match which with `All -> String.length raw | `Enum -> 0)
+  | Value.Vstruct (_, fs) ->
+      List.fold_left (fun a (_, f) -> a + count_sites which f) 0 fs
+  | Value.Varray vs ->
+      Array.fold_left (fun a f -> a + count_sites which f) 0 vs
+
+(* Rewrite the [target]-th site (in traversal order) with [f]; all
+   other sites — and the whole shape — are untouched. *)
+let rewrite_site which target f v =
+  let k = ref target in
+  let take () =
+    let hit = !k = 0 in
+    decr k;
+    hit
+  in
+  let rec go v =
+    match v with
+    | Value.Vunit -> v
+    | Value.Vbool b ->
+        if which = `All && take () then f (Sbool b) else v
+    | Value.Vchar c ->
+        if which = `All && take () then f (Schar c) else v
+    | Value.Vint n ->
+        if which = `All && take () then f (Sint n) else v
+    | Value.Venum (e, i) -> if take () then f (Senum (e, i)) else v
+    | Value.Vstring raw ->
+        if which = `Enum then v
+        else begin
+          let b = Bytes.of_string raw in
+          for i = 0 to Bytes.length b - 1 do
+            if take () then
+              match f (Sbyte (Bytes.get b i)) with
+              | Value.Vchar c -> Bytes.set b i c
+              | _ -> ()
+          done;
+          Value.Vstring (Bytes.to_string b)
+        end
+    | Value.Vstruct (n, fs) ->
+        Value.Vstruct (n, List.map (fun (fn, fv) -> (fn, go fv)) fs)
+    | Value.Varray vs -> Value.Varray (Array.map go vs)
+  in
+  go v
+
+(* ----- the individual mutators ----- *)
+
+let interesting_ints =
+  [ 0; 1; 2; 7; 8; 15; 16; 31; 32; 63; 64; 127; 128; 255; 256; 1023; 1024 ]
+
+let enum_members program ename =
+  match Ast.find_enum program ename with
+  | Some e -> List.length e.Ast.members
+  | None -> 0
+
+let char_pool alphabet = if alphabet = [] then [ '\000' ] else '\000' :: alphabet
+
+let byte_site ~program ~alphabet ~rng site =
+  let pool = char_pool alphabet in
+  match site with
+  | Sbool b -> Value.Vbool (not b)
+  | Schar _ | Sbyte _ -> Value.Vchar (Rng.pick rng pool)
+  | Sint _ -> Value.Vint (Rng.pick rng interesting_ints)
+  | Senum (e, i) ->
+      let n = enum_members program e in
+      Value.Venum (e, if n > 0 then Rng.int rng n else i)
+
+let arith_site ~program ~alphabet ~rng site =
+  let delta () =
+    let d = 1 + Rng.int rng 8 in
+    if Rng.bool rng then d else -d
+  in
+  let shift_char c =
+    let pool = char_pool alphabet in
+    let len = List.length pool in
+    let idx =
+      let rec find i = function
+        | [] -> None
+        | x :: rest -> if x = c then Some i else find (i + 1) rest
+      in
+      find 0 pool
+    in
+    match idx with
+    | None -> Rng.pick rng pool
+    | Some i -> List.nth pool (((i + delta ()) mod len + len) mod len)
+  in
+  match site with
+  | Sbool b -> Value.Vbool (not b)
+  | Schar c | Sbyte c -> Value.Vchar (shift_char c)
+  | Sint n -> Value.Vint (n + delta ())
+  | Senum (e, i) ->
+      let n = enum_members program e in
+      if n > 0 then Value.Venum (e, ((i + delta ()) mod n + n) mod n)
+      else Value.Venum (e, i)
+
+(* Mutate one site across the whole argument vector: sites are counted
+   over the concatenation of the argument value trees, so every leaf
+   is equally likely regardless of which argument holds it. *)
+let mutate_one which f inputs rng =
+  let total =
+    List.fold_left (fun a (_, v) -> a + count_sites which v) 0 inputs
+  in
+  if total = 0 then inputs
+  else begin
+    let target = ref (Rng.int rng total) in
+    List.map
+      (fun (n, v) ->
+        let here = count_sites which v in
+        let v' =
+          if !target >= 0 && !target < here then rewrite_site which !target f v
+          else v
+        in
+        target := !target - here;
+        (n, v'))
+      inputs
+  end
+
+let rec shape_compatible a b =
+  match (a, b) with
+  | Value.Vunit, Value.Vunit
+  | Value.Vbool _, Value.Vbool _
+  | Value.Vchar _, Value.Vchar _
+  | Value.Vint _, Value.Vint _ ->
+      true
+  | Value.Venum (e, _), Value.Venum (f, _) -> e = f
+  | Value.Vstring x, Value.Vstring y -> String.length x = String.length y
+  | Value.Vstruct (n, fs), Value.Vstruct (m, gs) ->
+      n = m
+      && List.length fs = List.length gs
+      && List.for_all2
+           (fun (f, v) (g, w) -> f = g && shape_compatible v w)
+           fs gs
+  | Value.Varray x, Value.Varray y ->
+      Array.length x = Array.length y
+      && (Array.length x = 0 || shape_compatible x.(0) y.(0))
+  | _ -> false
+
+let rec apply ~program ~alphabet ~rng kind ~other inputs =
+  match kind with
+  | Byte -> mutate_one `All (byte_site ~program ~alphabet ~rng) inputs rng
+  | Arith -> mutate_one `All (arith_site ~program ~alphabet ~rng) inputs rng
+  | Enum ->
+      let total =
+        List.fold_left (fun a (_, v) -> a + count_sites `Enum v) 0 inputs
+      in
+      if total = 0 then
+        (* no enum anywhere in the signature: degrade gracefully *)
+        apply ~program ~alphabet ~rng Byte ~other inputs
+      else mutate_one `Enum (byte_site ~program ~alphabet ~rng) inputs rng
+  | Havoc ->
+      let rounds = 1 + Rng.int rng 4 in
+      let rec go n acc =
+        if n = 0 then acc
+        else
+          let kind = Rng.pick rng [ Byte; Arith; Enum ] in
+          go (n - 1) (apply ~program ~alphabet ~rng kind ~other acc)
+      in
+      go rounds inputs
+  | Splice -> (
+      match other with
+      | None -> apply ~program ~alphabet ~rng Havoc ~other inputs
+      | Some partner ->
+          List.map
+            (fun (n, v) ->
+              match List.assoc_opt n partner with
+              | Some w when shape_compatible v w && Rng.bool rng -> (n, w)
+              | _ -> (n, v))
+            inputs)

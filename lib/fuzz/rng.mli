@@ -1,0 +1,30 @@
+(** Seeded splittable PRNG for the fuzzer (splitmix64).
+
+    Deterministic by construction: the stream is a pure function of
+    the creation seed, independent of machine, wall clock, and pool
+    size, so a fuzz draw seeded at [fuzz_seed + index] replays
+    identically on any worker. *)
+
+type t
+
+val create : int -> t
+(** A fresh generator; equal seeds yield equal streams. *)
+
+val split : t -> int -> t
+(** [split t i] derives an independent child stream from [t]'s current
+    state and the label [i], without advancing [t]. Distinct labels
+    give decorrelated streams. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform-ish in [\[0, n)]. [n] must be positive. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val pick_weighted : t -> ('a * int) list -> 'a
+(** Element chosen with probability proportional to its (positive)
+    weight, walking the list in order — deterministic for a given
+    stream position. The list must be non-empty with positive total
+    weight. *)

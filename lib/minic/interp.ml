@@ -16,13 +16,27 @@ let rt fmt = Printf.ksprintf (fun s -> raise (Runtime_exc s)) fmt
 let calls = Atomic.make 0
 let call_count () = Atomic.get calls
 
+type coverage = (string, unit) Hashtbl.t
+
+let coverage_create () : coverage = Hashtbl.create 64
+
 type state = {
   program : Ast.program;
   string_bound : int;
   natives : (string * (Value.t list -> Value.t)) list;
+  coverage : coverage option;
   mutable fuel : int;
   mutable scopes : (string * Value.t ref) list list;
 }
+
+(* Branch edges are labelled by structural position (function name +
+   statement path + construct + outcome), so the same program yields
+   the same labels in any run and [static_edges] can enumerate the
+   full universe without executing anything. *)
+let mark st at suffix =
+  match st.coverage with
+  | None -> ()
+  | Some tbl -> Hashtbl.replace tbl (at ^ suffix) ()
 
 let tick st = if st.fuel <= 0 then raise Fuel_exc else st.fuel <- st.fuel - 1
 
@@ -188,15 +202,24 @@ and eval_call st name args =
           List.iter2 (fun (_, pname) v -> declare st pname v) f.params args;
           let result =
             try
-              exec_block st f.body;
+              exec_block st f.fname f.body;
               if f.ret = Ast.Tvoid then Value.Vunit
               else rt "function %s fell off the end without returning" name
-            with Return_exc v -> v
+            with
+            | Return_exc v -> v
+            | e ->
+                (* restore the caller's stack even when a runtime error or
+                   fuel exhaustion escapes this frame: the caller's
+                   [exec_block] handlers pop as the exception unwinds, and
+                   they must pop the caller's scopes, not this frame's
+                   leftovers *)
+                st.scopes <- saved;
+                raise e
           in
           st.scopes <- saved;
           result)
 
-and exec_stmt st (s : Ast.stmt) : unit =
+and exec_stmt st at (s : Ast.stmt) : unit =
   tick st;
   match s with
   | Ast.Sdecl (ty, name, init) ->
@@ -208,26 +231,37 @@ and exec_stmt st (s : Ast.stmt) : unit =
       declare st name v
   | Ast.Sassign (lv, e) -> assign st lv (eval st e)
   | Ast.Sif (c, t, e) ->
-      if Value.truthy (eval st c) then exec_block st t else exec_block st e
+      if Value.truthy (eval st c) then begin
+        mark st at "#if:t";
+        exec_block st (at ^ "t") t
+      end
+      else begin
+        mark st at "#if:f";
+        exec_block st (at ^ "e") e
+      end
   | Ast.Swhile (c, body) ->
       let rec loop () =
         tick st;
         if Value.truthy (eval st c) then begin
-          (try exec_block st body with Continue_exc -> ());
+          mark st at "#wh:t";
+          (try exec_block st (at ^ "b") body with Continue_exc -> ());
           loop ()
         end
+        else mark st at "#wh:f"
       in
       (try loop () with Break_exc -> ())
   | Ast.Sfor (init, c, step, body) ->
       st.scopes <- [] :: st.scopes;
-      (match init with None -> () | Some s -> exec_stmt st s);
+      (match init with None -> () | Some s -> exec_stmt st (at ^ "i") s);
       let rec loop () =
         tick st;
         if Value.truthy (eval st c) then begin
-          (try exec_block st body with Continue_exc -> ());
-          (match step with None -> () | Some s -> exec_stmt st s);
+          mark st at "#for:t";
+          (try exec_block st (at ^ "b") body with Continue_exc -> ());
+          (match step with None -> () | Some s -> exec_stmt st (at ^ "s") s);
           loop ()
         end
+        else mark st at "#for:f"
       in
       (try loop () with Break_exc -> ());
       st.scopes <- List.tl st.scopes
@@ -281,17 +315,52 @@ and assign st lv v =
   let cell = lookup st root in
   cell := update_path st !cell path v
 
-and exec_block st body =
+and exec_block st at body =
   st.scopes <- [] :: st.scopes;
-  (try List.iter (exec_stmt st) body
+  (try
+     match st.coverage with
+     | None -> List.iter (exec_stmt st "") body
+     | Some _ ->
+         List.iteri (fun i s -> exec_stmt st (at ^ "." ^ string_of_int i) s) body
    with e ->
      st.scopes <- List.tl st.scopes;
      raise e);
   st.scopes <- List.tl st.scopes
 
-let run ?(fuel = 100_000) ?(string_bound = 16) ?(natives = []) program fname args =
-  let st = { program; string_bound; natives; fuel; scopes = [ [] ] } in
+let run ?(fuel = 100_000) ?(string_bound = 16) ?(natives = []) ?coverage program
+    fname args =
+  let st = { program; string_bound; natives; coverage; fuel; scopes = [ [] ] } in
   match eval_call st fname args with
   | v -> Ok v
   | exception Runtime_exc m -> Error (Runtime m)
   | exception Fuel_exc -> Error Out_of_fuel
+
+(* Mirrors the labelling of [exec_stmt]/[exec_block] exactly: every
+   edge the interpreter can mark appears here, and nothing else. *)
+let static_edges (program : Ast.program) =
+  let edges = ref [] in
+  let add e = edges := e :: !edges in
+  let rec stmt at (s : Ast.stmt) =
+    match s with
+    | Ast.Sif (_, t, e) ->
+        add (at ^ "#if:t");
+        add (at ^ "#if:f");
+        block (at ^ "t") t;
+        block (at ^ "e") e
+    | Ast.Swhile (_, body) ->
+        add (at ^ "#wh:t");
+        add (at ^ "#wh:f");
+        block (at ^ "b") body
+    | Ast.Sfor (init, _, step, body) ->
+        (match init with None -> () | Some s -> stmt (at ^ "i") s);
+        add (at ^ "#for:t");
+        add (at ^ "#for:f");
+        block (at ^ "b") body;
+        (match step with None -> () | Some s -> stmt (at ^ "s") s)
+    | Ast.Sdecl _ | Ast.Sassign _ | Ast.Sreturn _ | Ast.Sexpr _ | Ast.Sbreak
+    | Ast.Scontinue ->
+        ()
+  and block at body = List.iteri (fun i s -> stmt (at ^ "." ^ string_of_int i) s) body
+  in
+  List.iter (fun (f : Ast.func) -> block f.fname f.body) program.Ast.funcs;
+  List.rev !edges

@@ -11,10 +11,24 @@ type error =
 
 val error_to_string : error -> string
 
+type coverage = (string, unit) Hashtbl.t
+(** Set of branch edges hit during execution. Edges are labelled by
+    structural position (function name + statement path + construct +
+    outcome, e.g. ["f.0t.1#if:t"]), so the same program yields the same
+    labels in every run and on every domain. *)
+
+val coverage_create : unit -> coverage
+
+val static_edges : Ast.program -> string list
+(** All branch-edge labels the program can ever hit, enumerated
+    syntactically with the exact labelling scheme [run ~coverage] uses.
+    The dynamic coverage map is always a subset of this list. *)
+
 val run :
   ?fuel:int ->
   ?string_bound:int ->
   ?natives:(string * (Value.t list -> Value.t)) list ->
+  ?coverage:coverage ->
   Ast.program ->
   string ->
   Value.t list ->

@@ -8,8 +8,8 @@ type t = {
   timeout : float;
 }
 
-let synthesize ?cache ?sink ?(k = 10) ?(temperature = 0.6) ?(seed = 42)
-    ?timeout ?max_paths ?jobs ~oracle t =
+let pipeline_config ?(k = 10) ?(temperature = 0.6) ?(seed = 42) ?timeout
+    ?max_paths t =
   let config =
     {
       Eywa_core.Pipeline.default_config with
@@ -20,8 +20,16 @@ let synthesize ?cache ?sink ?(k = 10) ?(temperature = 0.6) ?(seed = 42)
       base_seed = seed;
     }
   in
-  let config =
-    match max_paths with Some n -> { config with max_paths = n } | None -> config
-  in
+  match max_paths with Some n -> { config with max_paths = n } | None -> config
+
+let synthesize ?cache ?sink ?k ?temperature ?seed ?timeout ?max_paths ?jobs
+    ~oracle t =
+  let config = pipeline_config ?k ?temperature ?seed ?timeout ?max_paths t in
   Eywa_core.Pipeline.run ?cache ?sink ~config ?jobs ~oracle t.graph
     ~main:t.main
+
+let fuzz ?cache ?sink ?fuzz_config ?k ?temperature ?seed ?timeout ?max_paths
+    ?jobs ~oracle t suite =
+  let pipeline = pipeline_config ?k ?temperature ?seed ?timeout ?max_paths t in
+  Eywa_fuzz.Fuzz.fuzz_of_seeds ?cache ?sink ?config:fuzz_config ?jobs
+    ~oracle_name:oracle.Eywa_core.Oracle.name ~pipeline t.graph suite

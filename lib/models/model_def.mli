@@ -11,6 +11,18 @@ type t = {
   timeout : float;  (** per-model symbolic execution budget, seconds *)
 }
 
+val pipeline_config :
+  ?k:int ->
+  ?temperature:float ->
+  ?seed:int ->
+  ?timeout:float ->
+  ?max_paths:int ->
+  t ->
+  Eywa_core.Pipeline.config
+(** The exact config {!synthesize} runs with — exposed so stages
+    layered on a synthesis result (the fuzz stage's cache key) can
+    reproduce it instead of guessing. *)
+
 val synthesize :
   ?cache:Eywa_core.Cache.t ->
   ?sink:Eywa_core.Instrument.sink ->
@@ -29,3 +41,22 @@ val synthesize :
     (see {!Eywa_core.Pipeline.run}); the result is identical at any
     value. [cache] content-addresses the per-draw artifacts and
     [sink] receives stage events — both default to off. *)
+
+val fuzz :
+  ?cache:Eywa_core.Cache.t ->
+  ?sink:Eywa_core.Instrument.sink ->
+  ?fuzz_config:Eywa_fuzz.Fuzz.config ->
+  ?k:int ->
+  ?temperature:float ->
+  ?seed:int ->
+  ?timeout:float ->
+  ?max_paths:int ->
+  ?jobs:int ->
+  oracle:Eywa_core.Oracle.t ->
+  t ->
+  Eywa_core.Pipeline.t ->
+  (Eywa_fuzz.Fuzz.t, string) result
+(** Run the coverage-guided fuzz stage over a synthesis result of this
+    model (see {!Eywa_fuzz.Fuzz.fuzz_of_seeds}). The synthesis
+    parameters must match the ones [suite] was produced with — they
+    feed the fuzz cache key. *)

@@ -39,7 +39,7 @@ let dns_witness ~model_id ~version impl tests =
             (Difftest.compare_all obs))
     tests
 
-let dns ?(sink = Eywa_core.Instrument.null) ~model_id ~version tests =
+let dns ?(sink = Eywa_core.Instrument.null) ?coverage ~model_id ~version tests =
   let report = Dns_adapter.run ~model_id ~version tests in
   sink
     (Eywa_core.Instrument.Difftest_done
@@ -53,6 +53,14 @@ let dns ?(sink = Eywa_core.Instrument.null) ~model_id ~version tests =
   let buf = Buffer.create (String.length base + 1024) in
   Buffer.add_string buf base;
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (match coverage with
+  | None -> ()
+  | Some (hit, total) ->
+      line "";
+      line "Model edge coverage: %d / %d branch edges%s." hit total
+        (if total > 0 then
+           Printf.sprintf " (%.0f%%)" (100.0 *. float_of_int hit /. float_of_int total)
+         else ""));
   List.iter
     (fun impl ->
       match dns_witness ~model_id ~version impl tests with

@@ -19,4 +19,5 @@ let () =
       ("report", Test_report.suite);
       ("parallel", Test_parallel.suite);
       ("pipeline", Test_pipeline.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -188,6 +188,31 @@ let test_artifact_roundtrip () =
   (* a model with regex pipes, struct/enum inputs and string atoms *)
   draw_roundtrip Dns_models.cname 1
 
+(* truncated payloads — a partial cache write, a corrupted file — must
+   decode to Error, never raise *)
+let test_artifact_truncation () =
+  let m = model in
+  let f =
+    match m.main with Emodule.Func f -> f | _ -> Alcotest.fail "main not Func"
+  in
+  let order =
+    match Graph.synthesis_order m.graph ~main:m.main with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  let encoded =
+    Pipeline.artifact_to_string
+      (Pipeline.run_draw ~oracle ~config:(config m) m.graph ~main:f ~order 0)
+  in
+  (* cutting only the final newline loses nothing, so stop short of it *)
+  for cut = 0 to String.length encoded - 2 do
+    match Pipeline.artifact_of_string m.graph ~main:f (String.sub encoded 0 cut) with
+    | Error _ -> ()
+    | Ok _ ->
+        Alcotest.failf "truncation at byte %d of %d decoded successfully" cut
+          (String.length encoded)
+  done
+
 (* ----- on-disk persistence ----- *)
 
 let temp_dir () =
@@ -310,6 +335,8 @@ let suite =
     key_seed_injective;
     Alcotest.test_case "draw artifacts round-trip the codec" `Slow
       test_artifact_roundtrip;
+    Alcotest.test_case "truncated draw artifacts decode to Error" `Slow
+      test_artifact_truncation;
     Alcotest.test_case "on-disk cache round-trips across processes" `Slow
       test_disk_roundtrip;
     Alcotest.test_case "cache contents: jobs=1 = jobs=4" `Slow

@@ -249,6 +249,39 @@ let prop_test_line_roundtrip =
          | Ok t' -> t' = t
          | Error _ -> false))
 
+(* quote/unquote must round-trip every byte sequence — quotes,
+   backslashes, newlines, NUL and its neighbours included *)
+let prop_quote_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"quote/unquote round trips any bytes"
+       QCheck2.Gen.(
+         string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 40))
+       (fun s -> Serialize.unquote (Serialize.quote s) = Ok s))
+
+let test_quote_edge_cases () =
+  List.iter
+    (fun s ->
+      match Serialize.unquote (Serialize.quote s) with
+      | Ok s' -> check (Printf.sprintf "%S round trips" s) true (s = s')
+      | Error e -> Alcotest.failf "%S failed to round trip: %s" s e)
+    [
+      ""; "\""; "\\"; "\\\""; "a\nb"; "\r\n"; "\000"; "\000a"; "a\000";
+      "\001\002"; "\255"; "\254\255\000\001"; "plain ascii"; "\\x41";
+    ]
+
+let test_unquote_malformed () =
+  let rejects what s =
+    check (what ^ " is rejected with Error") true
+      (Result.is_error (Serialize.unquote s))
+  in
+  rejects "unquoted input" "abc";
+  rejects "unterminated quote" "\"abc";
+  rejects "truncated backslash" "\"a\\";
+  rejects "truncated hex escape" "\"\\x4\"";
+  rejects "hex escape cut at end" "\"\\x";
+  rejects "non-hex digits" "\"\\xzz\"";
+  rejects "trailing garbage" "\"ok\"junk"
+
 let test_suite_file_roundtrip () =
   let tests =
     [
@@ -290,6 +323,10 @@ let suite =
     prop_bgp_roundtrip;
     prop_value_roundtrip;
     prop_test_line_roundtrip;
+    prop_quote_roundtrip;
+    Alcotest.test_case "serialize: quote edge cases" `Quick test_quote_edge_cases;
+    Alcotest.test_case "serialize: malformed quotes rejected" `Quick
+      test_unquote_malformed;
     Alcotest.test_case "serialize: suite files round trip" `Quick test_suite_file_roundtrip;
     Alcotest.test_case "serialize: load errors" `Quick test_suite_load_errors;
   ]
