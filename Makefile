@@ -1,7 +1,7 @@
 # Development entry points. `make check` is the PR gate: everything
 # builds, every test passes, and formatting is clean.
 
-.PHONY: all build test fmt fmt-apply fuzz-smoke check bench clean
+.PHONY: all build test fmt fmt-apply fuzz-smoke trace-smoke check bench clean
 
 all: build
 
@@ -34,7 +34,33 @@ fuzz-smoke:
 	@grep -q '"any_strict_increase": true' /tmp/eywa-fuzz-smoke.json \
 	  || { echo "fuzz-smoke: no model gained edge coverage"; exit 1; }
 
-check: build test fuzz-smoke fmt
+# PR4 smoke: the wall-clock-stripped trace of a run is byte-identical
+# at jobs=1 on a cold cache vs jobs=4 on the warm cache (`eywa trace`
+# also checks well-formedness and the JSONL round-trip on the way),
+# and the stats/bench JSON artifacts round-trip the canonical printer
+trace-smoke:
+	rm -rf /tmp/eywa-trace-smoke && mkdir -p /tmp/eywa-trace-smoke
+	dune exec bin/eywa_cli.exe -- run RR -k 3 --timeout 5 --jobs 1 \
+	  --cache-dir /tmp/eywa-trace-smoke/cache \
+	  --trace-out /tmp/eywa-trace-smoke/t1.jsonl > /dev/null
+	dune exec bin/eywa_cli.exe -- run RR -k 3 --timeout 5 --jobs 4 \
+	  --cache-dir /tmp/eywa-trace-smoke/cache \
+	  --trace-out /tmp/eywa-trace-smoke/t2.jsonl > /dev/null
+	dune exec bin/eywa_cli.exe -- trace /tmp/eywa-trace-smoke/t1.jsonl \
+	  --strip-wall --out /tmp/eywa-trace-smoke/s1.jsonl
+	dune exec bin/eywa_cli.exe -- trace /tmp/eywa-trace-smoke/t2.jsonl \
+	  --strip-wall --out /tmp/eywa-trace-smoke/s2.jsonl
+	@cmp /tmp/eywa-trace-smoke/s1.jsonl /tmp/eywa-trace-smoke/s2.jsonl \
+	  || { echo "trace-smoke: stripped traces differ across jobs/cache"; exit 1; }
+	@echo "trace-smoke: stripped traces byte-identical"
+	dune exec bin/eywa_cli.exe -- stats RR -k 3 --timeout 5 --json \
+	  > /tmp/eywa-trace-smoke/stats.json
+	dune exec bin/eywa_cli.exe -- trace --json /tmp/eywa-trace-smoke/stats.json
+	dune exec bench/main.exe -- fast table1 \
+	  --summary-json /tmp/eywa-trace-smoke/summary.json > /dev/null
+	dune exec bin/eywa_cli.exe -- trace --json /tmp/eywa-trace-smoke/summary.json
+
+check: build test fuzz-smoke trace-smoke fmt
 
 bench:
 	dune exec bench/main.exe -- fast

@@ -11,6 +11,10 @@
 
      fuzz     — PR3: symex-only vs symex+fuzz edge coverage and
                 difftest disagreements (writes BENCH_PR3.json)
+     obs      — PR4: observability layer determinism — the
+                wall-clock-stripped trace and env-stripped metrics of a
+                full CNAME run must be byte-identical at jobs=1 vs
+                jobs=N and warm vs cold cache (writes BENCH_PR4.json)
 
    Run with no argument to execute everything in order. Pass [fast] as
    a final argument for a quick smoke-scale run; [--jobs N] sizes the
@@ -18,7 +22,8 @@
    measurements as JSON, [--cache-dir DIR] persists the synthesis
    cache on disk, [--summary-json PATH] writes per-stage
    instrumentation totals (ticks, cache hits/misses) after the run,
-   and [--fuzz-json PATH] redirects the fuzz stage's JSON.
+   and [--fuzz-json PATH] / [--obs-json PATH] redirect the fuzz and
+   obs stages' JSON.
    Counts reproduce the
    paper's *shape* (relative sizes, who hits the timeout, diminishing
    returns around k = 10), not its absolute numbers: the substrate here
@@ -60,6 +65,7 @@ let json_path : string option ref = ref None
 let cache_dir : string option ref = ref None
 let summary_json : string option ref = ref None
 let fuzz_json : string ref = ref "BENCH_PR3.json"
+let obs_json : string ref = ref "BENCH_PR4.json"
 
 (* ----- shared synthesis cache + instrumentation ----- *)
 
@@ -722,6 +728,162 @@ let fuzz_stage scale =
     Printf.printf "wrote %s\n" path
   with Sys_error m -> Printf.eprintf "error: cannot write fuzz JSON: %s\n" m
 
+(* ----- obs stage (PR4) ----- *)
+
+(* The observability determinism claim, end to end: run synthesis +
+   fuzz + difftest on CNAME three times — jobs=1 on a cold cache,
+   jobs=N warm on the same cache, jobs=N on a second cold cache — and
+   require the wall-clock-stripped JSONL traces and the env-stripped
+   Prometheus expositions to be byte-identical, every trace
+   well-formed and JSONL/Chrome exports round-trip/parse. *)
+let obs_stage scale =
+  let module Obs = Eywa_obs.Obs in
+  let module Trace = Eywa_obs.Trace in
+  let module Export = Eywa_obs.Export in
+  let module Metrics = Eywa_obs.Metrics in
+  let module Json = Eywa_core.Serialize.Json in
+  let n =
+    match !jobs with
+    | Some j when j > 1 -> j
+    | _ -> max 2 (Eywa_core.Pool.default_jobs ())
+  in
+  Printf.printf
+    "\n%s\nObservability: stripped traces at jobs=1/jobs=%d, warm/cold cache\n%s\n"
+    line n line;
+  let m = Eywa_models.Dns_models.cname in
+  let run ~jobs ~cache =
+    let ctx = Obs.create ~label:m.Model_def.id () in
+    let s =
+      match
+        Model_def.synthesize ~cache ~obs:ctx ~k:scale.k ~timeout:2.0 ~jobs
+          ~oracle m
+      with
+      | Ok s -> s
+      | Error e -> failwith (m.Model_def.id ^ ": " ^ e)
+    in
+    (match
+       Model_def.fuzz ~cache ~obs:ctx
+         ~fuzz_config:
+           { Eywa_fuzz.Fuzz.default_config with budget = scale.fuzz_budget }
+         ~k:scale.k ~timeout:2.0 ~jobs ~oracle m s
+     with
+    | Ok _ -> ()
+    | Error e -> failwith (m.Model_def.id ^ ": fuzz: " ^ e));
+    ignore
+      (Dns_adapter.run ~jobs ~sink:(Obs.sink ctx) ~model_id:m.Model_def.id
+         ~version:Eywa_dns.Impls.Old s.Pipeline.unique_tests);
+    ctx
+  in
+  (* run order matters: the second run must find the first one's cache
+     warm, the third must start cold again *)
+  let cache_a = Cache.create () in
+  let ctx1 = run ~jobs:1 ~cache:cache_a in
+  let ctx2 = run ~jobs:n ~cache:cache_a in
+  let ctx3 = run ~jobs:n ~cache:(Cache.create ()) in
+  let runs =
+    [
+      ("jobs=1, cold cache", ctx1);
+      (Printf.sprintf "jobs=%d, warm cache" n, ctx2);
+      (Printf.sprintf "jobs=%d, cold cache" n, ctx3);
+    ]
+  in
+  let traces = List.map (fun (name, ctx) -> (name, Obs.finish ctx)) runs in
+  List.iter
+    (fun (name, t) ->
+      match Trace.well_formed t with
+      | Ok () -> ()
+      | Error e -> failwith (Printf.sprintf "obs: %s: malformed trace: %s" name e))
+    traces;
+  let roundtrip_ok =
+    List.for_all
+      (fun (_, t) ->
+        match Export.of_jsonl (Export.to_jsonl t) with
+        | Ok t' -> t' = t
+        | Error _ -> false)
+      traces
+  in
+  let chrome_valid =
+    List.for_all
+      (fun (_, t) ->
+        match Json.of_string (Export.chrome_trace t) with
+        | Ok _ -> true
+        | Error _ -> false)
+      traces
+  in
+  let stripped =
+    List.map (fun (name, t) -> (name, Export.to_jsonl (Trace.strip t))) traces
+  in
+  let metrics_txt =
+    List.map
+      (fun (name, ctx) ->
+        (name, Metrics.expose ~strip_env:true (Obs.metrics ctx)))
+      runs
+  in
+  let all_equal = function
+    | [] -> true
+    | (_, first) :: rest -> List.for_all (fun (_, s) -> String.equal s first) rest
+  in
+  let trace_identical = all_equal stripped in
+  let metrics_identical = all_equal metrics_txt in
+  let count items =
+    List.fold_left
+      (fun (s, e) -> function
+        | Trace.Span _ -> (s + 1, e)
+        | Trace.Event _ -> (s, e + 1))
+      (0, 0) items
+  in
+  Printf.printf "%-22s %7s %8s %15s %14s\n" "run" "spans" "events"
+    "trace bytes" "stripped bytes";
+  List.iter2
+    (fun (name, t) (_, s) ->
+      let spans, events = count t.Trace.items in
+      Printf.printf "%-22s %7d %8d %15d %14d\n" name spans events
+        (String.length (Export.to_jsonl t))
+        (String.length s))
+    traces stripped;
+  Printf.printf "%s\n" line;
+  Printf.printf "stripped traces byte-identical : %s\n"
+    (if trace_identical then "yes" else "NO");
+  Printf.printf "stripped metrics byte-identical: %s\n"
+    (if metrics_identical then "yes" else "NO");
+  Printf.printf "JSONL round-trips, Chrome valid: %s, %s\n"
+    (if roundtrip_ok then "yes" else "NO")
+    (if chrome_valid then "yes" else "NO");
+  let path = !obs_json in
+  let run_obj (name, t) (_, s) =
+    let spans, events = count t.Trace.items in
+    Json.Obj
+      [
+        ("run", Json.Str name);
+        ("spans", Json.Int spans);
+        ("events", Json.Int events);
+        ("trace_bytes", Json.Int (String.length (Export.to_jsonl t)));
+        ("stripped_bytes", Json.Int (String.length s));
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "eywa-obs");
+        ("model", Json.Str m.Model_def.id);
+        ("jobs", Json.Int n);
+        ("runs", Json.List (List.map2 run_obj traces stripped));
+        ("stripped_trace_identical", Json.Bool trace_identical);
+        ("stripped_metrics_identical", Json.Bool metrics_identical);
+        ("jsonl_roundtrip", Json.Bool roundtrip_ok);
+        ("chrome_valid", Json.Bool chrome_valid);
+      ]
+  in
+  (try
+     let oc = open_out path in
+     output_string oc (Json.to_string_pretty doc);
+     close_out oc;
+     Printf.printf "wrote %s\n" path
+   with Sys_error e -> Printf.eprintf "error: cannot write obs JSON: %s\n" e);
+  if
+    not (trace_identical && metrics_identical && roundtrip_ok && chrome_valid)
+  then failwith "obs: determinism check failed"
+
 (* ----- driver ----- *)
 
 (* Per-stage instrumentation: (name, wall seconds, collector summary
@@ -740,47 +902,51 @@ let staged name f =
   let after = Instrument.Collector.summary collector in
   stage_log := (name, dt, before, after) :: !stage_log
 
+(* The document is canonical [Serialize.Json]; "totals" is the schema
+   shared with [eywa stats --json] ({!Eywa_obs.Export.summary_totals}),
+   so both validate with [eywa trace --json PATH]. *)
 let write_summary_json path ~fast ~total_seconds =
+  let module Json = Eywa_core.Serialize.Json in
   let stage_json (name, dt, b, a) =
     let open Instrument.Collector in
-    Printf.sprintf
-      "    { \"stage\": %S, \"wall_seconds\": %.4f, \"draws\": %d, \
-       \"rejected\": %d, \"symex_ticks\": %d, \"paths_completed\": %d, \
-       \"solver_calls\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
-       \"unique_tests\": %d, \"difftests\": %d }"
-      name dt (a.draws - b.draws) (a.rejected - b.rejected)
-      (a.symex_ticks - b.symex_ticks)
-      (a.paths_completed - b.paths_completed)
-      (a.solver_calls - b.solver_calls)
-      (a.cache_hits - b.cache_hits)
-      (a.cache_misses - b.cache_misses)
-      (a.unique_tests - b.unique_tests)
-      (a.difftests - b.difftests)
+    Json.Obj
+      [
+        ("stage", Json.Str name);
+        ("wall_seconds", Json.Float dt);
+        ("draws", Json.Int (a.draws - b.draws));
+        ("rejected", Json.Int (a.rejected - b.rejected));
+        ("symex_ticks", Json.Int (a.symex_ticks - b.symex_ticks));
+        ("paths_completed", Json.Int (a.paths_completed - b.paths_completed));
+        ("solver_calls", Json.Int (a.solver_calls - b.solver_calls));
+        ("cache_hits", Json.Int (a.cache_hits - b.cache_hits));
+        ("cache_misses", Json.Int (a.cache_misses - b.cache_misses));
+        ("unique_tests", Json.Int (a.unique_tests - b.unique_tests));
+        ("difftests", Json.Int (a.difftests - b.difftests));
+        ( "fuzz_edges_gained",
+          Json.Int (a.fuzz_edges_gained - b.fuzz_edges_gained) );
+        ("difftest_execs", Json.Int (a.difftest_execs - b.difftest_execs));
+        ("pool_tasks", Json.Int (a.pool_tasks - b.pool_tasks));
+      ]
   in
   let s = Instrument.Collector.summary collector in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "eywa");
+        ("scale", Json.Str (if fast then "fast" else "full"));
+        ( "jobs",
+          Json.Int
+            (match !jobs with
+            | Some j -> j
+            | None -> Eywa_core.Pool.default_jobs ()) );
+        ("total_seconds", Json.Float total_seconds);
+        ("stages", Json.List (List.rev_map stage_json !stage_log));
+        ("totals", Eywa_obs.Export.summary_totals s);
+      ]
+  in
   try
     let oc = open_out path in
-    Printf.fprintf oc
-      "{\n\
-      \  \"bench\": \"eywa\",\n\
-      \  \"scale\": %S,\n\
-      \  \"jobs\": %d,\n\
-      \  \"total_seconds\": %.2f,\n\
-      \  \"stages\": [\n\
-       %s\n\
-      \  ],\n\
-      \  \"totals\": { \"draws\": %d, \"rejected\": %d, \"symex_ticks\": %d, \
-       \"paths_completed\": %d, \"paths_pruned\": %d, \"solver_calls\": %d, \
-       \"timeouts\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
-       \"unique_tests\": %d, \"difftests\": %d, \"disagreeing_tests\": %d }\n\
-       }\n"
-      (if fast then "fast" else "full")
-      (match !jobs with Some j -> j | None -> Eywa_core.Pool.default_jobs ())
-      total_seconds
-      (String.concat ",\n" (List.rev_map stage_json !stage_log))
-      s.draws s.rejected s.symex_ticks s.paths_completed s.paths_pruned
-      s.solver_calls s.timeouts s.cache_hits s.cache_misses s.unique_tests
-      s.difftests s.disagreeing_tests;
+    output_string oc (Json.to_string_pretty doc);
     close_out oc;
     Printf.printf "wrote %s\n" path
   with Sys_error m -> Printf.eprintf "error: cannot write summary JSON: %s\n" m
@@ -803,6 +969,9 @@ let () =
     | "--fuzz-json" :: p :: rest ->
         fuzz_json := p;
         parse_flags rest
+    | "--obs-json" :: p :: rest ->
+        obs_json := p;
+        parse_flags rest
     | a :: rest -> a :: parse_flags rest
   in
   let args = parse_flags (Array.to_list Sys.argv |> List.tl) in
@@ -820,6 +989,7 @@ let () =
   if wants "ablate" then staged "ablate" (fun () -> ablate scale);
   if wants "parallel" then staged "parallel" (fun () -> parallel scale);
   if wants "fuzz" then staged "fuzz" (fun () -> fuzz_stage scale);
+  if wants "obs" then staged "obs" (fun () -> obs_stage scale);
   if wants "micro" then staged "micro" micro;
   let total_seconds = Unix.gettimeofday () -. t0 in
   Printf.printf "\n%s\ntotal bench time: %.1f s%s\n" line total_seconds

@@ -6,11 +6,16 @@
    eywa fuzz MODEL             synthesize, then coverage-guided fuzz the suite
    eywa difftest MODEL         run differential testing and triage
    eywa stats MODEL            synthesize + difftest, print stage statistics
+   eywa trace FILE             inspect/strip/convert a JSONL trace
+   eywa metrics MODEL          synthesize + difftest, print metrics exposition
    eywa bugs                   print the known-bug catalog (Table 3 rows)
 
    Synthesis commands accept --cache-dir DIR: draw artifacts are
    content-addressed there and reused by any later invocation with
-   the same inputs (output is byte-identical either way). *)
+   the same inputs (output is byte-identical either way).
+   run/fuzz/difftest accept --trace-out FILE (JSONL span trace) and
+   --metrics-out FILE (Prometheus text exposition); stats accepts
+   --json for the bench-compatible summary schema. *)
 
 open Cmdliner
 
@@ -77,6 +82,45 @@ let cache_of = function
 let limit_arg =
   let doc = "Print at most this many tests." in
   Arg.(value & opt int 50 & info [ "limit" ] ~docv:"N" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write the run's span trace as JSONL to this file (one item per line, \
+     meta line first). Deterministic fields never include wall time; strip \
+     the rest with 'eywa trace FILE --strip-wall'."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc = "Write a Prometheus-style metrics exposition to this file." in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* one observability context per command invocation, created only when
+   an output was requested *)
+let obs_for ~label trace_out metrics_out =
+  match (trace_out, metrics_out) with
+  | None, None -> None
+  | _ -> Some (Eywa_obs.Obs.create ~label ())
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let finish_obs obs trace_out metrics_out =
+  match obs with
+  | None -> ()
+  | Some ctx ->
+      (match trace_out with
+      | Some path ->
+          write_file path (Eywa_obs.Export.to_jsonl (Eywa_obs.Obs.finish ctx));
+          Printf.printf "wrote trace to %s\n" path
+      | None -> ());
+      (match metrics_out with
+      | Some path ->
+          write_file path (Eywa_obs.Metrics.expose (Eywa_obs.Obs.metrics ctx));
+          Printf.printf "wrote metrics to %s\n" path
+      | None -> ())
 
 let fuzz_seed_arg =
   let doc = "Base fuzz seed; draw i fuzzes at SEED + i." in
@@ -150,12 +194,14 @@ let prompt_cmd =
     Term.(ret (const run $ model_arg))
 
 let run_cmd =
-  let run id k temperature seed timeout jobs limit save cache_dir =
+  let run id k temperature seed timeout jobs limit save cache_dir trace_out
+      metrics_out =
     match find_model id with
     | Error e -> `Error (false, e)
     | Ok m -> (
+        let obs = obs_for ~label:m.id trace_out metrics_out in
         match
-          Model_def.synthesize ?cache:(cache_of cache_dir) ~k ~temperature
+          Model_def.synthesize ?cache:(cache_of cache_dir) ?obs ~k ~temperature
             ~seed ?timeout ?jobs ~oracle m
         with
         | Error e -> `Error (false, e)
@@ -179,22 +225,25 @@ let run_cmd =
                 Printf.printf "saved %d tests to %s\n"
                   (List.length s.unique_tests) path
             | None -> ());
+            finish_obs obs trace_out metrics_out;
             `Ok ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Synthesize a model and print its generated tests.")
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
-               $ timeout_arg $ jobs_arg $ limit_arg $ save_arg $ cache_dir_arg))
+               $ timeout_arg $ jobs_arg $ limit_arg $ save_arg $ cache_dir_arg
+               $ trace_out_arg $ metrics_out_arg))
 
 let fuzz_cmd =
   let run id k temperature seed timeout jobs fuzz_seed budget max_new_tests
-      limit save cache_dir =
+      limit save cache_dir trace_out metrics_out =
     match find_model id with
     | Error e -> `Error (false, e)
     | Ok m -> (
         let cache = cache_of cache_dir in
+        let obs = obs_for ~label:m.id trace_out metrics_out in
         match
-          Model_def.synthesize ?cache ~k ~temperature ~seed ?timeout ?jobs
+          Model_def.synthesize ?cache ?obs ~k ~temperature ~seed ?timeout ?jobs
             ~oracle m
         with
         | Error e -> `Error (false, e)
@@ -208,8 +257,8 @@ let fuzz_cmd =
               }
             in
             match
-              Model_def.fuzz ?cache ~fuzz_config ~k ~temperature ~seed ?timeout
-                ?jobs ~oracle m s
+              Model_def.fuzz ?cache ?obs ~fuzz_config ~k ~temperature ~seed
+                ?timeout ?jobs ~oracle m s
             with
             | Error e -> `Error (false, e)
             | Ok f ->
@@ -242,6 +291,7 @@ let fuzz_cmd =
                       (List.length f.Eywa_fuzz.Fuzz.combined_tests)
                       path
                 | None -> ());
+                finish_obs obs trace_out metrics_out;
                 `Ok ()))
   in
   Cmd.v
@@ -252,7 +302,8 @@ let fuzz_cmd =
           and execution budget).")
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
                $ timeout_arg $ jobs_arg $ fuzz_seed_arg $ budget_arg
-               $ max_new_tests_arg $ limit_arg $ save_arg $ cache_dir_arg))
+               $ max_new_tests_arg $ limit_arg $ save_arg $ cache_dir_arg
+               $ trace_out_arg $ metrics_out_arg))
 
 let replay_cmd =
   let run id suite version jobs =
@@ -283,12 +334,15 @@ let replay_cmd =
     Term.(ret (const run $ model_arg $ suite_arg $ version_arg $ jobs_arg))
 
 let difftest_cmd =
-  let run id k temperature seed timeout jobs version cache_dir =
+  let run id k temperature seed timeout jobs version cache_dir trace_out
+      metrics_out =
     match find_model id with
     | Error e -> `Error (false, e)
     | Ok m -> (
+        let obs = obs_for ~label:m.id trace_out metrics_out in
+        let osink = Option.map Eywa_obs.Obs.sink obs in
         match
-          Model_def.synthesize ?cache:(cache_of cache_dir) ~k ~temperature
+          Model_def.synthesize ?cache:(cache_of cache_dir) ?obs ~k ~temperature
             ~seed ?timeout ?jobs ~oracle m
         with
         | Error e -> `Error (false, e)
@@ -297,15 +351,16 @@ let difftest_cmd =
             let report, causes =
               match m.protocol with
               | "DNS" ->
-                  ( Eywa_models.Dns_adapter.run ?jobs ~model_id:m.id ~version
-                      s.unique_tests,
+                  ( Eywa_models.Dns_adapter.run ?jobs ?sink:osink ~model_id:m.id
+                      ~version s.unique_tests,
                     List.map
                       (fun (impl, q) ->
                         (impl, Eywa_dns.Lookup.quirk_to_string q))
                       (Eywa_models.Dns_adapter.quirks_triggered ?jobs ~version
                          [ (m.id, s.unique_tests) ]) )
               | "BGP" ->
-                  ( Eywa_models.Bgp_adapter.run ?jobs ~model_id:m.id s.unique_tests,
+                  ( Eywa_models.Bgp_adapter.run ?jobs ?sink:osink ~model_id:m.id
+                      s.unique_tests,
                     List.map
                       (fun (impl, q) -> (impl, Eywa_bgp.Quirks.to_string q))
                       (Eywa_models.Bgp_adapter.quirks_triggered ?jobs
@@ -314,7 +369,8 @@ let difftest_cmd =
                   match Eywa_models.Smtp_adapter.state_graph_for s with
                   | Error e -> failwith e
                   | Ok graph ->
-                      ( Eywa_models.Smtp_adapter.run ?jobs ~graph s.unique_tests,
+                      ( Eywa_models.Smtp_adapter.run ?jobs ?sink:osink ~graph
+                          s.unique_tests,
                         List.map
                           (fun (impl, _) -> (impl, "accept-mail-without-helo"))
                           (Eywa_models.Smtp_adapter.quirks_triggered ?jobs ~graph
@@ -325,13 +381,15 @@ let difftest_cmd =
             List.iter
               (fun (impl, q) -> Printf.printf "  %-12s %s\n" impl q)
               causes;
+            finish_obs obs trace_out metrics_out;
             `Ok ())
   in
   Cmd.v
     (Cmd.info "difftest"
        ~doc:"Synthesize a model and differentially test the implementations.")
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
-               $ timeout_arg $ jobs_arg $ version_arg $ cache_dir_arg))
+               $ timeout_arg $ jobs_arg $ version_arg $ cache_dir_arg
+               $ trace_out_arg $ metrics_out_arg))
 
 let report_cmd =
   let run id k temperature seed timeout jobs version cache_dir =
@@ -359,8 +417,16 @@ let report_cmd =
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
                $ timeout_arg $ jobs_arg $ version_arg $ cache_dir_arg))
 
+let stats_json_arg =
+  let doc =
+    "Print the statistics as JSON instead of text, using the same schema as \
+     the bench harness's --summary-json totals, so the two outputs diff \
+     cleanly in CI."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let stats_cmd =
-  let run id k temperature seed timeout jobs version cache_dir =
+  let run id k temperature seed timeout jobs version cache_dir as_json =
     match find_model id with
     | Error e -> `Error (false, e)
     | Ok m -> (
@@ -379,32 +445,43 @@ let stats_cmd =
                   (Eywa_models.Report.dns ~sink ~model_id:m.id ~version
                      s.unique_tests)
             | "BGP" ->
-                let report =
-                  Eywa_models.Bgp_adapter.run ?jobs ~model_id:m.id
-                    s.unique_tests
-                in
-                sink
-                  (Eywa_core.Instrument.Difftest_done
-                     {
-                       label = m.id;
-                       total_tests = report.Difftest.total_tests;
-                       disagreeing_tests = report.Difftest.disagreeing_tests;
-                       tuples = List.length report.Difftest.tuples;
-                     })
+                ignore
+                  (Eywa_models.Bgp_adapter.run ?jobs ~sink ~model_id:m.id
+                     s.unique_tests)
             | _ -> ());
-            Printf.printf "%s: pipeline statistics (k=%d, seed=%d, tau=%.2f)\n"
-              m.id k seed temperature;
-            print_endline
-              (Format.asprintf "%a" Eywa_core.Instrument.Collector.pp_summary
-                 (Eywa_core.Instrument.Collector.summary collector));
+            let summary = Eywa_core.Instrument.Collector.summary collector in
             let hit, total = suite_coverage s m s.unique_tests in
-            Printf.printf "coverage     %d / %d branch edges over %d models%s\n"
-              hit total
-              (List.length s.programs)
-              (if total > 0 then
-                 Printf.sprintf " (%.0f%%)"
-                   (100.0 *. float_of_int hit /. float_of_int total)
-               else "");
+            if as_json then
+              let module Json = Eywa_core.Serialize.Json in
+              print_string
+                (Json.to_string_pretty
+                   (Json.Obj
+                      [
+                        ("bench", Json.Str "eywa-stats");
+                        ("model", Json.Str m.id);
+                        ("k", Json.Int k);
+                        ("seed", Json.Int seed);
+                        ("temperature", Json.Float temperature);
+                        ("coverage_edges_hit", Json.Int hit);
+                        ("coverage_edges_total", Json.Int total);
+                        ("totals", Eywa_obs.Export.summary_totals summary);
+                      ]))
+            else begin
+              Printf.printf
+                "%s: pipeline statistics (k=%d, seed=%d, tau=%.2f)\n" m.id k
+                seed temperature;
+              print_endline
+                (Format.asprintf "%a" Eywa_core.Instrument.Collector.pp_summary
+                   summary);
+              Printf.printf
+                "coverage     %d / %d branch edges over %d models%s\n" hit
+                total
+                (List.length s.programs)
+                (if total > 0 then
+                   Printf.sprintf " (%.0f%%)"
+                     (100.0 *. float_of_int hit /. float_of_int total)
+                 else "")
+            end;
             `Ok ())
   in
   Cmd.v
@@ -413,9 +490,164 @@ let stats_cmd =
          "Synthesize a model (and difftest it) with a collecting \
           instrumentation sink, then print per-stage statistics: draws, \
           rejections, deterministic symex ticks, paths, solver calls, cache \
-          hits/misses, difftest disagreements.")
+          hits/misses, difftest disagreements. With --json, print the \
+          bench-compatible summary schema instead.")
     Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
-               $ timeout_arg $ jobs_arg $ version_arg $ cache_dir_arg))
+               $ timeout_arg $ jobs_arg $ version_arg $ cache_dir_arg
+               $ stats_json_arg))
+
+let trace_file_arg =
+  let doc = "Trace JSONL file (from --trace-out), or any JSON file with --json." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let strip_wall_arg =
+  let doc =
+    "Drop environment-classed items and attributes (wall-clock seconds, \
+     cache traffic, pool utilization). The stripped trace of a run is \
+     byte-identical at any --jobs and any cache state."
+  in
+  Arg.(value & flag & info [ "strip-wall" ] ~doc)
+
+let trace_out_file_arg =
+  let doc = "Write the (possibly stripped) canonical JSONL here instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let chrome_arg =
+  let doc =
+    "Also write a Chrome trace_event JSON file viewable in about://tracing \
+     or Perfetto (logical clock, 1 tick = 1 ms)."
+  in
+  Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+
+let json_doc_arg =
+  let doc =
+    "Treat FILE as a single JSON document (e.g. a --summary-json or stats \
+     --json output): validate it and check it round-trips through the \
+     canonical printer."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let trace_cmd =
+  let module Json = Eywa_core.Serialize.Json in
+  let run file strip_wall out chrome as_json =
+    match read_file file with
+    | exception Sys_error e -> `Error (false, e)
+    | contents ->
+        if as_json then (
+          match Json.of_string contents with
+          | Error e -> `Error (false, Printf.sprintf "%s: invalid JSON: %s" file e)
+          | Ok v -> (
+              (* canonical print must re-parse to the same value *)
+              match Json.of_string (Json.to_string v) with
+              | Ok v' when v' = v ->
+                  Printf.printf "%s: valid JSON (%d bytes), round-trips through Serialize.Json\n"
+                    file (String.length contents);
+                  `Ok ()
+              | Ok _ | Error _ ->
+                  `Error (false, Printf.sprintf "%s: canonical round-trip mismatch" file)))
+        else
+          match Eywa_obs.Export.of_jsonl contents with
+          | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+          | Ok t -> (
+              match Eywa_obs.Trace.well_formed t with
+              | Error e ->
+                  `Error (false, Printf.sprintf "%s: malformed trace: %s" file e)
+              | Ok () -> (
+                  (* every trace we accept must survive the serializer *)
+                  match Eywa_obs.Export.of_jsonl (Eywa_obs.Export.to_jsonl t) with
+                  | Ok t' when t' = t ->
+                      let t = if strip_wall then Eywa_obs.Trace.strip t else t in
+                      let spans, events =
+                        List.fold_left
+                          (fun (s, e) -> function
+                            | Eywa_obs.Trace.Span _ -> (s + 1, e)
+                            | Eywa_obs.Trace.Event _ -> (s, e + 1))
+                          (0, 0) t.Eywa_obs.Trace.items
+                      in
+                      (match out with
+                      | Some path ->
+                          write_file path (Eywa_obs.Export.to_jsonl t);
+                          Printf.printf
+                            "%s: well-formed trace %S, %d spans, %d events -> %s%s\n"
+                            file t.Eywa_obs.Trace.label spans events path
+                            (if strip_wall then " (wall-clock stripped)" else "")
+                      | None ->
+                          if strip_wall then
+                            print_string (Eywa_obs.Export.to_jsonl t)
+                          else
+                            Printf.printf
+                              "%s: well-formed trace %S, %d spans, %d events\n"
+                              file t.Eywa_obs.Trace.label spans events);
+                      (match chrome with
+                      | Some path ->
+                          write_file path (Eywa_obs.Export.chrome_trace t);
+                          Printf.printf "wrote Chrome trace to %s\n" path
+                      | None -> ());
+                      `Ok ()
+                  | Ok _ | Error _ ->
+                      `Error
+                        (false, Printf.sprintf "%s: JSONL round-trip mismatch" file)))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Validate, strip, or convert a JSONL span trace written by \
+          --trace-out. Checks well-formedness (unique ids, every span \
+          closed, parents open before children) and that the file \
+          round-trips through the canonical serializer; --strip-wall \
+          removes everything environment-dependent, --chrome exports for \
+          about://tracing, --json instead validates a plain JSON document.")
+    Term.(ret (const run $ trace_file_arg $ strip_wall_arg $ trace_out_file_arg
+               $ chrome_arg $ json_doc_arg))
+
+let strip_env_arg =
+  let doc = "Omit environment-classed instruments (wall clock, cache, pool)." in
+  Arg.(value & flag & info [ "strip-env" ] ~doc)
+
+let metrics_cmd =
+  let run id k temperature seed timeout jobs version cache_dir strip_env =
+    match find_model id with
+    | Error e -> `Error (false, e)
+    | Ok m -> (
+        let ctx = Eywa_obs.Obs.create ~label:m.id () in
+        let sink = Eywa_obs.Obs.sink ctx in
+        match
+          Model_def.synthesize ?cache:(cache_of cache_dir) ~sink ~k
+            ~temperature ~seed ?timeout ?jobs ~oracle m
+        with
+        | Error e -> `Error (false, e)
+        | Ok s ->
+            (match m.protocol with
+            | "DNS" ->
+                ignore
+                  (Eywa_models.Dns_adapter.run ?jobs ~sink ~model_id:m.id
+                     ~version s.unique_tests)
+            | "BGP" ->
+                ignore
+                  (Eywa_models.Bgp_adapter.run ?jobs ~sink ~model_id:m.id
+                     s.unique_tests)
+            | _ -> ());
+            print_string
+              (Eywa_obs.Metrics.expose ~strip_env (Eywa_obs.Obs.metrics ctx));
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Synthesize a model (and difftest it) through an observability \
+          context, then print the metrics registry in Prometheus text \
+          format. With --strip-env the output is deterministic across \
+          machines, pool sizes and cache states.")
+    Term.(ret (const run $ model_arg $ k_arg $ temperature_arg $ seed_arg
+               $ timeout_arg $ jobs_arg $ version_arg $ cache_dir_arg
+               $ strip_env_arg))
 
 let bugs_cmd =
   let run () =
@@ -448,4 +680,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ models_cmd; prompt_cmd; run_cmd; fuzz_cmd; replay_cmd;
-            difftest_cmd; report_cmd; stats_cmd; bugs_cmd ]))
+            difftest_cmd; report_cmd; stats_cmd; trace_cmd; metrics_cmd;
+            bugs_cmd ]))

@@ -31,6 +31,15 @@ type event =
       total_tests : int;
       disagreeing_tests : int;
       tuples : int;
+      execs : int;
+    }
+  | Pool_merged of {
+      label : string;
+      tasks : int;
+      computed : int;
+      jobs : int;
+      per_worker : int list;
+      queue_wait_ticks : int;
     }
 
 type sink = event -> unit
@@ -58,8 +67,12 @@ module Collector = struct
     fuzz_draws : int;
     fuzz_execs : int;
     fuzz_new_tests : int;
+    fuzz_edges_gained : int;
     difftests : int;
+    difftest_execs : int;
     disagreeing_tests : int;
+    pool_batches : int;
+    pool_tasks : int;
   }
 
   let create () = { mutex = Mutex.create (); events = [] }
@@ -87,7 +100,9 @@ module Collector = struct
       symex_seconds = 0.0; symex_ticks = 0; paths_completed = 0;
       paths_pruned = 0; solver_calls = 0; timeouts = 0; cache_hits = 0;
       cache_misses = 0; unique_tests = 0; fuzz_draws = 0; fuzz_execs = 0;
-      fuzz_new_tests = 0; difftests = 0; disagreeing_tests = 0;
+      fuzz_new_tests = 0; fuzz_edges_gained = 0; difftests = 0;
+      difftest_execs = 0; disagreeing_tests = 0; pool_batches = 0;
+      pool_tasks = 0;
     }
 
   let summary t =
@@ -111,14 +126,20 @@ module Collector = struct
         | Cache_miss _ -> { s with cache_misses = s.cache_misses + 1 }
         | Suite_aggregated { unique_tests; _ } ->
             { s with unique_tests = s.unique_tests + unique_tests }
-        | Fuzz_done { execs; new_tests; _ } ->
+        | Fuzz_done { execs; new_tests; edges_seed; edges_after; _ } ->
             { s with fuzz_draws = s.fuzz_draws + 1;
               fuzz_execs = s.fuzz_execs + execs;
-              fuzz_new_tests = s.fuzz_new_tests + new_tests }
+              fuzz_new_tests = s.fuzz_new_tests + new_tests;
+              fuzz_edges_gained =
+                s.fuzz_edges_gained + max 0 (edges_after - edges_seed) }
         | Fuzz_aggregated _ -> s
-        | Difftest_done { total_tests = _; disagreeing_tests; _ } ->
+        | Difftest_done { total_tests = _; disagreeing_tests; execs; _ } ->
             { s with difftests = s.difftests + 1;
-              disagreeing_tests = s.disagreeing_tests + disagreeing_tests })
+              difftest_execs = s.difftest_execs + execs;
+              disagreeing_tests = s.disagreeing_tests + disagreeing_tests }
+        | Pool_merged { tasks; _ } ->
+            { s with pool_batches = s.pool_batches + 1;
+              pool_tasks = s.pool_tasks + tasks })
       empty_summary (events t)
 
   let pp_summary ppf (s : summary) =
@@ -129,10 +150,13 @@ module Collector = struct
        pruned), %d solver calls, %d timeouts@\n\
        cache        %d hits, %d misses@\n\
        aggregation  %d unique tests@\n\
-       fuzz         %d draws, %d execs (deterministic ticks), %d new tests@\n\
-       difftest     %d runs, %d disagreeing tests"
+       fuzz         %d draws, %d execs (deterministic ticks), %d new tests, \
+       +%d edges@\n\
+       difftest     %d runs, %d executions, %d disagreeing tests@\n\
+       pool         %d batches, %d tasks"
       s.draws s.rejected s.tests s.gen_seconds s.symex_seconds s.symex_ticks
       s.paths_completed s.paths_pruned s.solver_calls s.timeouts s.cache_hits
       s.cache_misses s.unique_tests s.fuzz_draws s.fuzz_execs s.fuzz_new_tests
-      s.difftests s.disagreeing_tests
+      s.fuzz_edges_gained s.difftests s.difftest_execs s.disagreeing_tests
+      s.pool_batches s.pool_tasks
 end

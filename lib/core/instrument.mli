@@ -9,11 +9,13 @@
     events are {e replayed} at the deterministic merge point in input
     (model-index) order, never from inside pool workers. Hence the
     event sequence a run emits is — modulo the two wall-clock fields
-    of [Draw_finished] — bit-for-bit independent of [jobs] and of the
-    cache state; a cache hit replays even the wall-clock fields the
-    stored run measured, so only the [Cache_hit]/[Cache_miss] events
-    themselves distinguish a warm run from the cold run that filled
-    the cache. *)
+    of [Draw_finished] and the environment fields of [Pool_merged]
+    ([computed]/[jobs]/[per_worker]/[queue_wait_ticks]) — bit-for-bit
+    independent of [jobs] and of the cache state; a cache hit replays
+    even the wall-clock fields the stored run measured, so only the
+    [Cache_hit]/[Cache_miss] events themselves (and [Pool_merged]'s
+    environment fields) distinguish a warm run from the cold run that
+    filled the cache. *)
 
 type event =
   | Draw_started of { index : int }
@@ -52,7 +54,28 @@ type event =
       total_tests : int;
       disagreeing_tests : int;
       tuples : int;  (** unique root-cause tuples *)
+      execs : int;
+          (** implementation executions recorded over the suite — a
+              deterministic counter, so difftest has per-stage
+              attribution like symex ticks and fuzz execs *)
     }
+  | Pool_merged of {
+      label : string;  (** stage name, e.g. ["draw"], ["fuzz"] *)
+      tasks : int;
+          (** logical units of the stage (e.g. [k] draws) —
+              deterministic, cache- and jobs-invariant *)
+      computed : int;
+          (** units actually executed this run (cache misses);
+              cache-state-dependent, like [Cache_hit]/[Cache_miss] *)
+      jobs : int;  (** pool size — environment data *)
+      per_worker : int list;  (** scheduling-dependent — environment *)
+      queue_wait_ticks : int;  (** pool-size-dependent — environment *)
+    }
+      (** Emitted once per pool batch at the deterministic merge point.
+          Only [label] and [tasks] are part of the deterministic event
+          stream; the remaining fields describe the environment the
+          batch ran in and must be normalized away when comparing runs
+          across pool sizes or cache states. *)
 
 type sink = event -> unit
 
@@ -85,8 +108,14 @@ module Collector : sig
     fuzz_draws : int;  (** [Fuzz_done] events *)
     fuzz_execs : int;  (** candidate executions, a deterministic counter *)
     fuzz_new_tests : int;
+    fuzz_edges_gained : int;
+        (** coverage gain summed over draws:
+            [max 0 (edges_after - edges_seed)] *)
     difftests : int;
+    difftest_execs : int;  (** implementation executions over all suites *)
     disagreeing_tests : int;
+    pool_batches : int;  (** [Pool_merged] events *)
+    pool_tasks : int;  (** logical units summed over batches *)
   }
 
   val create : unit -> t

@@ -509,12 +509,22 @@ let run ?cache ?(sink = Instrument.null) ?(config = default_config) ?jobs
           in
           (* the misses are independent; fan them out and merge by
              model index, so the result is identical at any [jobs] *)
-          let computed =
+          let computed, pool_stats =
             Pool.with_pool ~jobs (fun pool ->
-                Pool.map pool
+                Pool.map_stats pool
                   (fun i -> (i, run_draw ~oracle ~config g ~main:main_f ~order i))
                   missing)
           in
+          sink
+            (Instrument.Pool_merged
+               {
+                 label = "draw";
+                 tasks = config.k;
+                 computed = pool_stats.Pool.tasks;
+                 jobs = pool_stats.Pool.jobs;
+                 per_worker = pool_stats.Pool.per_worker;
+                 queue_wait_ticks = pool_stats.Pool.queue_wait_ticks;
+               });
           (match cache with
           | None -> ()
           | Some c ->

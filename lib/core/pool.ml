@@ -7,6 +7,10 @@
 let in_worker_key = Domain.DLS.new_key (fun () -> false)
 let in_worker () = Domain.DLS.get in_worker_key
 
+(* Which worker of the pool the calling domain is (-1 outside a pool);
+   only used to attribute task counts in [map_stats]. *)
+let worker_index_key = Domain.DLS.new_key (fun () -> -1)
+
 let env_jobs () =
   match Sys.getenv_opt "EYWA_JOBS" with
   | None -> None
@@ -31,8 +35,9 @@ type t = {
 
 let size pool = pool.size
 
-let worker pool () =
+let worker pool index () =
   Domain.DLS.set in_worker_key true;
+  Domain.DLS.set worker_index_key index;
   let rec loop () =
     Mutex.lock pool.mutex;
     let rec take () =
@@ -72,7 +77,7 @@ let create ~jobs =
     }
   in
   if jobs > 1 then
-    pool.workers <- List.init jobs (fun _ -> Domain.spawn (worker pool));
+    pool.workers <- List.init jobs (fun i -> Domain.spawn (worker pool i));
   pool
 
 let shutdown pool =
@@ -90,12 +95,34 @@ let with_pool ~jobs f =
   let pool = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-let map pool f xs =
-  if pool.size <= 1 || in_worker () then List.map f xs
+type map_stats = {
+  tasks : int;
+  jobs : int;
+  per_worker : int list;
+  queue_wait_ticks : int;
+}
+
+let map_stats pool f xs =
+  if pool.size <= 1 || in_worker () then
+    let results = List.map f xs in
+    ( results,
+      {
+        tasks = List.length results;
+        jobs = pool.size;
+        per_worker = [ List.length results ];
+        queue_wait_ticks = 0;
+      } )
   else begin
     let arr = Array.of_list xs in
     let n = Array.length arr in
-    if n = 0 then []
+    if n = 0 then
+      ( [],
+        {
+          tasks = 0;
+          jobs = pool.size;
+          per_worker = List.init pool.size (fun _ -> 0);
+          queue_wait_ticks = 0;
+        } )
     else begin
       let results = Array.make n None in
       (* the smallest failing index wins, matching what a sequential
@@ -104,9 +131,13 @@ let map pool f xs =
       let remaining = ref n in
       let done_mutex = Mutex.create () in
       let all_done = Condition.create () in
+      let worker_tasks = Array.make pool.size 0 in
       let task i () =
         let outcome = try Ok (f arr.(i)) with e -> Error e in
+        let w = Domain.DLS.get worker_index_key in
         Mutex.lock done_mutex;
+        if w >= 0 && w < pool.size then
+          worker_tasks.(w) <- worker_tasks.(w) + 1;
         (match outcome with
         | Ok r -> results.(i) <- Some r
         | Error e -> (
@@ -117,12 +148,18 @@ let map pool f xs =
         if !remaining = 0 then Condition.signal all_done;
         Mutex.unlock done_mutex
       in
+      (* queue-wait ticks: backlog length each task sees as it is
+         enqueued — a deterministic proxy for queue pressure (the whole
+         batch is added under the queue mutex, so task i waits behind
+         exactly the tasks already queued, never behind a wall clock) *)
+      let queue_wait = ref 0 in
       Mutex.lock pool.mutex;
       if pool.closed then begin
         Mutex.unlock pool.mutex;
         invalid_arg "Pool.map: pool is shut down"
       end;
       for i = 0 to n - 1 do
+        queue_wait := !queue_wait + Queue.length pool.queue;
         Queue.add (task i) pool.queue
       done;
       Condition.broadcast pool.nonempty;
@@ -135,7 +172,17 @@ let map pool f xs =
       match !first_error with
       | Some (_, e) -> raise e
       | None ->
-          Array.to_list
-            (Array.map (function Some r -> r | None -> assert false) results)
+          ( Array.to_list
+              (Array.map
+                 (function Some r -> r | None -> assert false)
+                 results),
+            {
+              tasks = n;
+              jobs = pool.size;
+              per_worker = Array.to_list worker_tasks;
+              queue_wait_ticks = !queue_wait;
+            } )
     end
   end
+
+let map pool f xs = fst (map_stats pool f xs)

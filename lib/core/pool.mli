@@ -39,5 +39,26 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     deterministic [f] the observable result is identical). Calls from
     inside a pool worker run inline sequentially. *)
 
+type map_stats = {
+  tasks : int;  (** elements mapped — equals [List.length xs] *)
+  jobs : int;  (** the pool's size, 1 when the map ran inline *)
+  per_worker : int list;
+      (** tasks each worker executed, by worker index ([[tasks]] for an
+          inline run). Scheduling-dependent: which worker grabs which
+          task varies run to run — environment data, never part of a
+          deterministic trace/cache key. *)
+  queue_wait_ticks : int;
+      (** sum over tasks of the queue backlog at enqueue time — a
+          deterministic function of batch size and queue state, but
+          pool-size-dependent (0 inline), so environment data too. *)
+}
+(** Utilization stats of one {!map_stats} batch, for the observability
+    layer. Only [tasks] is invariant across pool sizes. *)
+
+val map_stats : t -> ('a -> 'b) -> 'a list -> 'b list * map_stats
+(** {!map} plus the batch's utilization stats. The result list obeys
+    the same determinism contract as {!map}; the stats do not (see
+    {!type:map_stats}). *)
+
 val in_worker : unit -> bool
 (** Whether the calling domain is one of a pool's workers. *)

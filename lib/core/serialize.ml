@@ -177,6 +177,255 @@ let unquote s =
       else Ok decoded
   | exception Bad m -> Error m
 
+(* ----- JSON ----- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (* The trace/metrics exporters need real JSON ([escape] above emits
+     \xNN, which JSON parsers reject), and deterministic output: the
+     printer is canonical — shortest float representation that
+     round-trips, no whitespace, object fields in the order given. *)
+
+  let escape_string s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 32 || Char.code c > 126 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let float_to_string f =
+    if not (Float.is_finite f) then invalid_arg "Json: non-finite float"
+    else
+      let rec shortest prec =
+        if prec > 17 then Printf.sprintf "%.17g" f
+        else
+          let s = Printf.sprintf "%.*g" prec f in
+          if float_of_string s = f then s else shortest (prec + 1)
+      in
+      let s = shortest 1 in
+      if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+
+  let rec print buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool true -> Buffer.add_string buf "true"
+    | Bool false -> Buffer.add_string buf "false"
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f -> Buffer.add_string buf (float_to_string f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape_string s);
+        Buffer.add_char buf '"'
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_char buf ',';
+            print buf v)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape_string k);
+            Buffer.add_string buf "\":";
+            print buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 256 in
+    print buf v;
+    Buffer.contents buf
+
+  let rec print_pretty buf indent = function
+    | List (_ :: _ as items) ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i v ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (String.make (indent + 2) ' ');
+            print_pretty buf (indent + 2) v)
+          items;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_char buf ']'
+    | Obj (_ :: _ as fields) ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            Buffer.add_string buf (String.make (indent + 2) ' ');
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape_string k);
+            Buffer.add_string buf "\": ";
+            print_pretty buf (indent + 2) v)
+          fields;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make indent ' ');
+        Buffer.add_char buf '}'
+    | v -> print buf v
+
+  let to_string_pretty v =
+    let buf = Buffer.create 256 in
+    print_pretty buf 0 v;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let skip_json_ws c =
+    let ws = function Some (' ' | '\t' | '\n' | '\r') -> true | _ -> false in
+    while ws (peek c) do
+      c.pos <- c.pos + 1
+    done
+
+  let hex_val ch =
+    match ch with
+    | '0' .. '9' -> Char.code ch - Char.code '0'
+    | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+    | _ -> bad "bad hex digit %C" ch
+
+  let read_json_string c =
+    let q = next c in
+    if q <> '"' then bad "expected '\"' at %d" (c.pos - 1);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match next c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          match next c with
+          | '"' -> Buffer.add_char buf '"'; go ()
+          | '\\' -> Buffer.add_char buf '\\'; go ()
+          | '/' -> Buffer.add_char buf '/'; go ()
+          | 'b' -> Buffer.add_char buf '\b'; go ()
+          | 'f' -> Buffer.add_char buf '\012'; go ()
+          | 'n' -> Buffer.add_char buf '\n'; go ()
+          | 'r' -> Buffer.add_char buf '\r'; go ()
+          | 't' -> Buffer.add_char buf '\t'; go ()
+          | 'u' ->
+              let d1 = hex_val (next c) in
+              let d2 = hex_val (next c) in
+              let d3 = hex_val (next c) in
+              let d4 = hex_val (next c) in
+              let v = (d1 lsl 12) lor (d2 lsl 8) lor (d3 lsl 4) lor d4 in
+              if v > 0xff then
+                bad "\\u%04x: only latin-1 escapes are supported" v;
+              Buffer.add_char buf (Char.chr v);
+              go ()
+          | ch -> bad "bad escape \\%C at %d" ch (c.pos - 1))
+      | ch -> Buffer.add_char buf ch; go ()
+    in
+    go ()
+
+  let read_number c =
+    let start = c.pos in
+    let number_char = function
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> true
+      | _ -> false
+    in
+    while number_char (peek c) do
+      c.pos <- c.pos + 1
+    done;
+    if c.pos = start then bad "expected a number at %d" start;
+    let s = String.sub c.src start (c.pos - start) in
+    let is_float =
+      String.exists (function '.' | 'e' | 'E' -> true | _ -> false) s
+    in
+    if is_float then
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> bad "bad number %S at %d" s start
+    else
+      match int_of_string_opt s with
+      | Some n -> Int n
+      | None -> bad "bad number %S at %d" s start
+
+  let read_keyword c kw v =
+    String.iter
+      (fun expected ->
+        let got = next c in
+        if got <> expected then bad "bad literal at %d (expected %s)" c.pos kw)
+      kw;
+    v
+
+  let rec read_json c =
+    skip_json_ws c;
+    match peek c with
+    | None -> bad "unexpected end of input at %d" c.pos
+    | Some '"' -> Str (read_json_string c)
+    | Some 'n' -> read_keyword c "null" Null
+    | Some 't' -> read_keyword c "true" (Bool true)
+    | Some 'f' -> read_keyword c "false" (Bool false)
+    | Some '[' ->
+        c.pos <- c.pos + 1;
+        let rec elems acc =
+          skip_json_ws c;
+          if peek c = Some ']' then begin
+            c.pos <- c.pos + 1;
+            List (List.rev acc)
+          end
+          else begin
+            if acc <> [] then expect c ',';
+            let v = read_json c in
+            elems (v :: acc)
+          end
+        in
+        elems []
+    | Some '{' ->
+        c.pos <- c.pos + 1;
+        let rec fields acc =
+          skip_json_ws c;
+          if peek c = Some '}' then begin
+            c.pos <- c.pos + 1;
+            Obj (List.rev acc)
+          end
+          else begin
+            if acc <> [] then expect c ',';
+            skip_json_ws c;
+            let k = read_json_string c in
+            skip_json_ws c;
+            expect c ':';
+            let v = read_json c in
+            fields ((k, v) :: acc)
+          end
+        in
+        fields []
+    | Some _ -> read_number c
+
+  let of_string s =
+    let c = { src = s; pos = 0 } in
+    match read_json c with
+    | v ->
+        skip_json_ws c;
+        if c.pos <> String.length s then
+          Error (Printf.sprintf "trailing input at %d" c.pos)
+        else Ok v
+    | exception Bad m -> Error m
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
 (* ----- test cases ----- *)
 
 let test_to_line (t : Testcase.t) =

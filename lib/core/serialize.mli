@@ -22,6 +22,42 @@ val unquote : string -> (string, string) result
 (** Exact inverse of {!quote}; the whole input must be one quoted
     token. *)
 
+(** Minimal JSON codec for the observability exporters (JSONL traces,
+    Chrome [trace_event] files, metrics/summary JSON). [quote] above
+    emits [\xNN] escapes which JSON parsers reject, so the trace layer
+    must not reuse it. The printer is canonical and deterministic:
+    shortest float representation that round-trips (always with a
+    ['.'] or exponent so floats re-parse as [Float]), no insignificant
+    whitespace, object fields kept in the order given. Strings are
+    byte strings; bytes outside printable ASCII are escaped as
+    [\u00XX], and only latin-1 [\uXXXX] escapes are accepted on
+    input. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact canonical form. Raises [Invalid_argument] on non-finite
+      floats — nothing the deterministic pipeline produces. *)
+
+  val to_string_pretty : t -> string
+  (** 2-space-indented form, trailing newline; parses back with
+      {!of_string} to the same value. *)
+
+  val of_string : string -> (t, string) result
+  (** Accepts any JSON this module prints (and standard whitespace);
+      the whole input must be one document. *)
+
+  val member : string -> t -> t option
+  (** [member key (Obj fields)] is the first binding of [key]. *)
+end
+
 val test_to_line : Testcase.t -> string
 val test_of_line : string -> (Testcase.t, string) result
 

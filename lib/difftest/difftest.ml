@@ -54,20 +54,24 @@ let compare_all observations =
 type accum = {
   mutable total : int;
   mutable disagreeing : int;
+  mutable observations : int;
   counts : (disagreement, int) Hashtbl.t;
 }
 
 type report = {
   total_tests : int;
   disagreeing_tests : int;
+  observations : int;
   tuples : (disagreement * int) list;
 }
 
-let create () = { total = 0; disagreeing = 0; counts = Hashtbl.create 64 }
+let create () =
+  { total = 0; disagreeing = 0; observations = 0; counts = Hashtbl.create 64 }
 
 let record acc observations =
   let ds = compare_all observations in
   acc.total <- acc.total + 1;
+  acc.observations <- acc.observations + List.length observations;
   if ds <> [] then acc.disagreeing <- acc.disagreeing + 1;
   List.iter
     (fun d ->
@@ -82,7 +86,12 @@ let report acc =
     |> List.sort (fun (da, na) (db, nb) ->
            if na <> nb then compare nb na else compare da db)
   in
-  { total_tests = acc.total; disagreeing_tests = acc.disagreeing; tuples }
+  {
+    total_tests = acc.total;
+    disagreeing_tests = acc.disagreeing;
+    observations = acc.observations;
+    tuples;
+  }
 
 (* Parallel fan-out for the observation loop: computing one test's
    observations means running every implementation on it, which is the
@@ -95,12 +104,40 @@ let parallel_map ?jobs f xs =
   in
   Eywa_core.Pool.with_pool ~jobs (fun pool -> Eywa_core.Pool.map pool f xs)
 
-let run ?jobs ~observe tests =
+let run ?jobs ?(sink = Eywa_core.Instrument.null) ?(label = "suite") ~observe
+    tests =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Eywa_core.Pool.default_jobs ()
+  in
+  let results, stats =
+    Eywa_core.Pool.with_pool ~jobs (fun pool ->
+        Eywa_core.Pool.map_stats pool observe tests)
+  in
+  (* like the pipeline, events fire only at the merge point, on the
+     orchestrating domain, after the deterministic index-ordered merge *)
+  sink
+    (Eywa_core.Instrument.Pool_merged
+       {
+         label = "difftest:" ^ label;
+         tasks = List.length tests;
+         computed = stats.Eywa_core.Pool.tasks;
+         jobs = stats.Eywa_core.Pool.jobs;
+         per_worker = stats.Eywa_core.Pool.per_worker;
+         queue_wait_ticks = stats.Eywa_core.Pool.queue_wait_ticks;
+       });
   let acc = create () in
-  List.iter
-    (function None -> () | Some obs -> ignore (record acc obs))
-    (parallel_map ?jobs observe tests);
-  report acc
+  List.iter (function None -> () | Some obs -> ignore (record acc obs)) results;
+  let r = report acc in
+  sink
+    (Eywa_core.Instrument.Difftest_done
+       {
+         label;
+         total_tests = r.total_tests;
+         disagreeing_tests = r.disagreeing_tests;
+         tuples = List.length r.tuples;
+         execs = r.observations;
+       });
+  r
 
 let impls_in_report r =
   List.sort_uniq compare (List.map (fun (d, _) -> d.d_impl) r.tuples)

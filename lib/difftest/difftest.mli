@@ -37,6 +37,10 @@ type accum
 type report = {
   total_tests : int;
   disagreeing_tests : int;
+  observations : int;
+      (** implementation executions recorded over the suite — a
+          deterministic counter (sum of observation-list lengths), the
+          difftest analogue of symex ticks *)
   tuples : (disagreement * int) list;
       (** unique tuples with occurrence counts, most frequent first *)
 }
@@ -51,12 +55,23 @@ val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     protocol adapters for their per-test loops, whose per-element work
     is "run every implementation on this test". *)
 
-val run : ?jobs:int -> observe:('a -> observation list option) -> 'a list -> report
+val run :
+  ?jobs:int ->
+  ?sink:Eywa_core.Instrument.sink ->
+  ?label:string ->
+  observe:('a -> observation list option) ->
+  'a list ->
+  report
 (** [run ~observe tests] computes every test's observations in
     parallel ([observe] returning [None] skips the test), then records
     them {e sequentially in input order} into one accumulator — so the
     report is identical at any [jobs]. [observe] must be safe to call
-    from concurrent domains. *)
+    from concurrent domains.
+
+    After the merge, emits [Pool_merged] (labelled
+    ["difftest:" ^ label]) and [Difftest_done] on [sink] from the
+    orchestrating domain, following the {!Eywa_core.Instrument}
+    replay-at-merge-point contract. [label] defaults to ["suite"]. *)
 
 val impls_in_report : report -> string list
 val tuples_for : report -> string -> (disagreement * int) list

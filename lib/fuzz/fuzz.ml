@@ -263,13 +263,23 @@ let fuzz_of_seeds ?cache ?(sink = Instrument.null) ?(config = default_config)
           cached
       in
       (* misses are independent pure units; fan out, merge by index *)
-      let computed =
+      let computed, pool_stats =
         Pool.with_pool ~jobs (fun pool ->
-            Pool.map pool
+            Pool.map_stats pool
               (fun (i, p, seeds) ->
                 (i, fuzz_draw ~natives ~main:s.main ~config ~alphabet ~index:i p seeds))
               missing)
       in
+      sink
+        (Instrument.Pool_merged
+           {
+             label = "fuzz";
+             tasks = List.length units;
+             computed = pool_stats.Pool.tasks;
+             jobs = pool_stats.Pool.jobs;
+             per_worker = pool_stats.Pool.per_worker;
+             queue_wait_ticks = pool_stats.Pool.queue_wait_ticks;
+           });
       (match cache with
       | None -> ()
       | Some c ->

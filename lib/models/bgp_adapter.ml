@@ -203,8 +203,10 @@ let observations_for ~model_id (test : Testcase.t) =
     match obs with [] -> None | _ -> Some obs
   end
 
-let run ?jobs ~model_id tests =
-  Difftest.run ?jobs ~observe:(observations_for ~model_id) tests
+let run ?jobs ?sink ~model_id tests =
+  Difftest.run ?jobs ?sink ~label:model_id
+    ~observe:(observations_for ~model_id)
+    tests
 
 (* Quirk attribution for one test (pure, pool-safe): a disagreement
    anywhere prompts attribution for every implementation — majority

@@ -12,11 +12,13 @@ val observations_for :
 
 val run :
   ?jobs:int ->
+  ?sink:Eywa_core.Instrument.sink ->
   model_id:string ->
   Eywa_core.Testcase.t list ->
   Eywa_difftest.Difftest.report
 (** Per-test observations fan out over a [jobs]-domain pool and merge
-    in input order; the report is identical at any [jobs]. *)
+    in input order; the report is identical at any [jobs]. [sink]
+    receives the merge-point events, labelled with [model_id]. *)
 
 val quirks_triggered :
   ?jobs:int ->

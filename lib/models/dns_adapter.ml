@@ -64,8 +64,10 @@ let observations_for ~model_id ~version test =
                fields = fields_of_outcome outcome })
            Dns.Impls.all)
 
-let run ?jobs ~model_id ~version tests =
-  Difftest.run ?jobs ~observe:(observations_for ~model_id ~version) tests
+let run ?jobs ?sink ~model_id ~version tests =
+  Difftest.run ?jobs ?sink ~label:model_id
+    ~observe:(observations_for ~model_id ~version)
+    tests
 
 (* Quirk attribution for one test: which (impl, quirk) pairs change
    behaviour on it. Pure, so the per-test loop fans out on the pool;

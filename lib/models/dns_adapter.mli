@@ -25,13 +25,16 @@ val observations_for :
 
 val run :
   ?jobs:int ->
+  ?sink:Eywa_core.Instrument.sink ->
   model_id:string ->
   version:Eywa_dns.Impls.version ->
   Eywa_core.Testcase.t list ->
   Eywa_difftest.Difftest.report
 (** Per-test observations are computed on a [jobs]-domain pool
     (default {!Eywa_core.Pool.default_jobs}) and merged in input
-    order, so the report is identical at any [jobs]. *)
+    order, so the report is identical at any [jobs]. [sink] receives
+    the [Pool_merged]/[Difftest_done] events {!Eywa_difftest.Difftest.run}
+    emits at the merge point, labelled with [model_id]. *)
 
 val quirks_triggered :
   ?jobs:int ->

@@ -8,17 +8,19 @@
 
 val dns :
   ?sink:Eywa_core.Instrument.sink ->
+  ?obs:Eywa_obs.Obs.t ->
   ?coverage:int * int ->
   model_id:string ->
   version:Eywa_dns.Impls.version ->
   Eywa_core.Testcase.t list ->
   string
 (** Run differential testing over the tests and render the findings.
-    [sink] receives one [Difftest_done] event with the report's
-    headline counts (default: none). [coverage] is the suite's
-    [(edges hit, edges total)] over the compiled models (see
-    {!Eywa_fuzz.Coverage.of_suite}); when given, the report carries a
-    model-coverage line. *)
+    [sink] receives the [Pool_merged]/[Difftest_done] events the
+    difftest merge emits (default: none); [obs] additionally feeds an
+    observability context (its sink is teed in front of [sink]).
+    [coverage] is the suite's [(edges hit, edges total)] over the
+    compiled models (see {!Eywa_fuzz.Coverage.of_suite}); when given,
+    the report carries a model-coverage line. *)
 
 val render_generic :
   title:string ->

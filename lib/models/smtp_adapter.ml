@@ -36,8 +36,9 @@ let observations_for ~graph (test : Testcase.t) =
            Smtp.Impls.all)
   end
 
-let run ?jobs ~graph tests =
-  Difftest.run ?jobs ~observe:(observations_for ~graph) tests
+let run ?jobs ?sink ~graph tests =
+  Difftest.run ?jobs ?sink ~label:"SERVER" ~observe:(observations_for ~graph)
+    tests
 
 (* Quirk attribution for one test (pure, pool-safe). *)
 let quirks_for_test ~graph (test : Testcase.t) =

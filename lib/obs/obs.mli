@@ -1,0 +1,25 @@
+(** Observability context: one run's span tree and metrics, fed by a
+    single {!Eywa_core.Instrument.sink}.
+
+    Thread an [Obs.t] through {!Eywa_models.Model_def.synthesize} /
+    [fuzz] / {!Eywa_models.Report.dns} (their [?obs] parameter) or
+    pass {!sink} anywhere a sink goes; every event updates both the
+    {!Trace.builder} and the metrics registry under one mutex, so a
+    context is safe to share with any code that follows the
+    [Instrument] emit-at-merge-point contract. *)
+
+type t
+
+val create : ?metrics:Metrics.t -> label:string -> unit -> t
+(** A fresh context whose root span id is [label]. The registry
+    (default: a fresh one) is populated with the standard pipeline
+    instruments — counters and fixed-bucket histograms for draws,
+    symex ticks, fuzz coverage, difftest executions ([Det]); wall
+    clock, cache traffic and pool utilization ([Env]). *)
+
+val sink : t -> Eywa_core.Instrument.sink
+
+val metrics : t -> Metrics.t
+
+val finish : t -> Trace.t
+(** Snapshot the trace (see {!Trace.finish}). *)

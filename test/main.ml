@@ -20,4 +20,5 @@ let () =
       ("parallel", Test_parallel.suite);
       ("pipeline", Test_pipeline.suite);
       ("fuzz", Test_fuzz.suite);
+      ("obs", Test_obs.suite);
     ]

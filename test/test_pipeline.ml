@@ -274,12 +274,24 @@ let events_sans_cache c =
       | Instrument.Cache_hit _ | Instrument.Cache_miss _ -> false | _ -> true)
     (Instrument.Collector.events c)
 
-(* Zero the only machine-dependent event fields, for comparing two
-   independent computations. *)
+(* Zero the machine/pool/cache-dependent event fields, for comparing
+   two independent computations: Draw_finished wall seconds, and
+   Pool_merged's env fields (computed depends on the cache state,
+   jobs/per_worker/queue_wait_ticks on the pool size). *)
 let norm_event = function
   | Instrument.Draw_finished { index; tests; _ } ->
       Instrument.Draw_finished
         { index; tests; gen_seconds = 0.0; symex_seconds = 0.0 }
+  | Instrument.Pool_merged { label; tasks; _ } ->
+      Instrument.Pool_merged
+        {
+          label;
+          tasks;
+          computed = 0;
+          jobs = 0;
+          per_worker = [];
+          queue_wait_ticks = 0;
+        }
   | e -> e
 
 let test_event_stream_deterministic () =
@@ -297,7 +309,8 @@ let test_event_stream_deterministic () =
   let cold = collect ~cache ~jobs:1 () in
   let warm = collect ~cache ~jobs:1 () in
   check "hit replays the miss's draw events" true
-    (events_sans_cache cold = events_sans_cache warm);
+    (List.map norm_event (events_sans_cache cold)
+    = List.map norm_event (events_sans_cache warm));
   let s_cold = Instrument.Collector.summary cold
   and s_warm = Instrument.Collector.summary warm in
   check_int "cold misses" 4 s_cold.Instrument.Collector.cache_misses;
