@@ -13,6 +13,9 @@ type event =
       paths_completed : int;
       paths_pruned : int;
       solver_calls : int;
+      solver_decisions : int;
+      cex_hits : int;
+      model_reuses : int;
       timed_out : bool;
     }
   | Cache_hit of { stage : string; key : string }
@@ -60,6 +63,9 @@ module Collector = struct
     paths_completed : int;
     paths_pruned : int;
     solver_calls : int;
+    solver_decisions : int;
+    cex_hits : int;
+    model_reuses : int;
     timeouts : int;
     cache_hits : int;
     cache_misses : int;
@@ -98,7 +104,8 @@ module Collector = struct
     {
       draws = 0; rejected = 0; tests = 0; gen_seconds = 0.0;
       symex_seconds = 0.0; symex_ticks = 0; paths_completed = 0;
-      paths_pruned = 0; solver_calls = 0; timeouts = 0; cache_hits = 0;
+      paths_pruned = 0; solver_calls = 0; solver_decisions = 0; cex_hits = 0;
+      model_reuses = 0; timeouts = 0; cache_hits = 0;
       cache_misses = 0; unique_tests = 0; fuzz_draws = 0; fuzz_execs = 0;
       fuzz_new_tests = 0; fuzz_edges_gained = 0; difftests = 0;
       difftest_execs = 0; disagreeing_tests = 0; pool_batches = 0;
@@ -115,12 +122,16 @@ module Collector = struct
               symex_seconds = s.symex_seconds +. symex_seconds }
         | Compile_rejected _ -> { s with rejected = s.rejected + 1 }
         | Symex_done
-            { ticks; paths_completed; paths_pruned; solver_calls; timed_out; _ }
+            { ticks; paths_completed; paths_pruned; solver_calls;
+              solver_decisions; cex_hits; model_reuses; timed_out; _ }
           ->
             { s with symex_ticks = s.symex_ticks + ticks;
               paths_completed = s.paths_completed + paths_completed;
               paths_pruned = s.paths_pruned + paths_pruned;
               solver_calls = s.solver_calls + solver_calls;
+              solver_decisions = s.solver_decisions + solver_decisions;
+              cex_hits = s.cex_hits + cex_hits;
+              model_reuses = s.model_reuses + model_reuses;
               timeouts = (s.timeouts + if timed_out then 1 else 0) }
         | Cache_hit _ -> { s with cache_hits = s.cache_hits + 1 }
         | Cache_miss _ -> { s with cache_misses = s.cache_misses + 1 }
@@ -148,6 +159,7 @@ module Collector = struct
        generation   %.2f s wall@\n\
        symex        %.2f s wall, %d ticks (deterministic), %d paths (+%d \
        pruned), %d solver calls, %d timeouts@\n\
+       solver       %d decisions executed, %d cex hits, %d model reuses@\n\
        cache        %d hits, %d misses@\n\
        aggregation  %d unique tests@\n\
        fuzz         %d draws, %d execs (deterministic ticks), %d new tests, \
@@ -155,7 +167,8 @@ module Collector = struct
        difftest     %d runs, %d executions, %d disagreeing tests@\n\
        pool         %d batches, %d tasks"
       s.draws s.rejected s.tests s.gen_seconds s.symex_seconds s.symex_ticks
-      s.paths_completed s.paths_pruned s.solver_calls s.timeouts s.cache_hits
+      s.paths_completed s.paths_pruned s.solver_calls s.timeouts
+      s.solver_decisions s.cex_hits s.model_reuses s.cache_hits
       s.cache_misses s.unique_tests s.fuzz_draws s.fuzz_execs s.fuzz_new_tests
       s.fuzz_edges_gained s.difftests s.difftest_execs s.disagreeing_tests
       s.pool_batches s.pool_tasks

@@ -36,6 +36,12 @@ type event =
       paths_completed : int;
       paths_pruned : int;
       solver_calls : int;
+      solver_decisions : int;
+          (** search decisions actually executed — the one field that
+              depends on the counterexample-cache toggle (environment
+              data, like cache traffic) *)
+      cex_hits : int;  (** deterministic, identical cache on or off *)
+      model_reuses : int;  (** deterministic, identical cache on or off *)
       timed_out : bool;
     }
   | Cache_hit of { stage : string; key : string  (** hex digest *) }
@@ -101,6 +107,9 @@ module Collector : sig
     paths_completed : int;
     paths_pruned : int;
     solver_calls : int;
+    solver_decisions : int;  (** decisions executed (cex-cache-dependent) *)
+    cex_hits : int;  (** feasibility probes answered by the sat/unsat memo *)
+    model_reuses : int;  (** probes answered by the parent path's model *)
     timeouts : int;  (** draws that exhausted the tick budget *)
     cache_hits : int;
     cache_misses : int;

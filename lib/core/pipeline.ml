@@ -17,6 +17,7 @@ type config = {
   alphabet : char list;
   base_seed : int;
   samples_per_path : int;
+  cex_cache : bool;
 }
 
 let default_config =
@@ -30,6 +31,7 @@ let default_config =
     alphabet = [ 'a'; 'b'; '.'; '*' ];
     base_seed = 42;
     samples_per_path = 4;
+    cex_cache = true;
   }
 
 type model_result = {
@@ -160,6 +162,7 @@ let symex ~config g ~main program =
       timeout = config.timeout;
       max_solver_decisions = config.max_solver_decisions;
       string_bound = 8;
+      cex_cache = config.cex_cache;
     }
   in
   let paths, stats =
@@ -291,6 +294,10 @@ let draw_key_parts ~oracle_name ~config ~prompts ~index =
         ("alphabet", String.init (List.length config.alphabet)
                        (List.nth config.alphabet));
       ("samples_per_path", string_of_int config.samples_per_path);
+      (* tests are byte-identical either way, but the stored
+         [solver_decisions] stat measures executed work and so depends
+         on the toggle *)
+      ("cex_cache", (if config.cex_cache then "1" else "0"));
     ]
 
 let draw_key ~oracle_name ~config ~prompts ~index =
@@ -307,7 +314,7 @@ let artifact_to_string ((r : model_result), program) =
         Buffer.add_char buf '\n')
       fmt
   in
-  line "eywa-draw 1";
+  line "eywa-draw 2";
   line "index %d" r.index;
   line "gen %h" r.gen_seconds;
   line "sym %h" r.symex_seconds;
@@ -318,8 +325,8 @@ let artifact_to_string ((r : model_result), program) =
   (match r.stats with
   | None -> line "stats -"
   | Some (st : Exec.stats) ->
-      line "stats %d %d %d %d %d" st.paths_completed st.paths_pruned
-        st.solver_calls
+      line "stats %d %d %d %d %d %d %d %d" st.paths_completed st.paths_pruned
+        st.solver_calls st.solver_decisions st.cex_hits st.model_reuses
         (if st.timed_out then 1 else 0)
         st.ticks_used);
   line "src %s" (Serialize.quote r.c_source);
@@ -368,7 +375,10 @@ let artifact_of_string g ~main s =
       Ok (Some decoded)
   in
   let* header = next () in
-  if header <> "eywa-draw 1" then Error "not a draw artifact"
+  (* version-bumped when the stats line grew solver fields: a v1 entry
+     fails to parse and is recomputed, which is the intended
+     invalidation path *)
+  if header <> "eywa-draw 2" then Error "not a draw artifact"
   else
     let* index = int_field "index" in
     let* gen_seconds = float_field "gen" in
@@ -382,13 +392,25 @@ let artifact_of_string g ~main s =
         match
           String.split_on_char ' ' stats_line |> List.map int_of_string_opt
         with
-        | [ Some completed; Some pruned; Some calls; Some timed; Some ticks ] ->
+        | [
+            Some completed;
+            Some pruned;
+            Some calls;
+            Some decisions;
+            Some cex_hits;
+            Some model_reuses;
+            Some timed;
+            Some ticks;
+          ] ->
             Ok
               (Some
                  {
                    Exec.paths_completed = completed;
                    paths_pruned = pruned;
                    solver_calls = calls;
+                   solver_decisions = decisions;
+                   cex_hits;
+                   model_reuses;
                    timed_out = timed <> 0;
                    ticks_used = ticks;
                  })
@@ -458,6 +480,9 @@ let emit_draw_events sink (r : model_result) =
              paths_completed = st.paths_completed;
              paths_pruned = st.paths_pruned;
              solver_calls = st.solver_calls;
+             solver_decisions = st.solver_decisions;
+             cex_hits = st.cex_hits;
+             model_reuses = st.model_reuses;
              timed_out = st.timed_out;
            })
   | None -> ());

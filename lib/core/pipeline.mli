@@ -50,6 +50,10 @@ type config = {
   samples_per_path : int;
       (** concrete tests drawn per symbolic path (distinct solver value
           rotations) *)
+  cex_cache : bool;
+      (** let symex feasibility probes short-circuit through the
+          per-draw counterexample cache (see {!Eywa_symex.Exec.config};
+          tests are byte-identical either way) *)
 }
 
 val default_config : config

@@ -16,6 +16,7 @@ type config = Pipeline.config = {
   alphabet : char list;
   base_seed : int;
   samples_per_path : int;
+  cex_cache : bool;
 }
 
 let default_config = Pipeline.default_config

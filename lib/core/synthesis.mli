@@ -28,6 +28,10 @@ type config = Pipeline.config = {
   samples_per_path : int;
       (** concrete tests drawn per symbolic path (distinct solver value
           rotations); Klee-style dense coverage of bounded inputs *)
+  cex_cache : bool;
+      (** let symex feasibility probes short-circuit through the
+          per-draw counterexample cache (tests are byte-identical
+          either way) *)
 }
 
 val default_config : config

@@ -17,6 +17,7 @@ val pipeline_config :
   ?seed:int ->
   ?timeout:float ->
   ?max_paths:int ->
+  ?cex_cache:bool ->
   t ->
   Eywa_core.Pipeline.config
 (** The exact config {!synthesize} runs with — exposed so stages
@@ -32,6 +33,7 @@ val synthesize :
   ?seed:int ->
   ?timeout:float ->
   ?max_paths:int ->
+  ?cex_cache:bool ->
   ?jobs:int ->
   oracle:Eywa_core.Oracle.t ->
   t ->
@@ -55,6 +57,7 @@ val fuzz :
   ?seed:int ->
   ?timeout:float ->
   ?max_paths:int ->
+  ?cex_cache:bool ->
   ?jobs:int ->
   oracle:Eywa_core.Oracle.t ->
   t ->

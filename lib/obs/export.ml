@@ -202,6 +202,9 @@ let summary_totals (s : Eywa_core.Instrument.Collector.summary) =
       ("paths_completed", Json.Int s.paths_completed);
       ("paths_pruned", Json.Int s.paths_pruned);
       ("solver_calls", Json.Int s.solver_calls);
+      ("solver_decisions", Json.Int s.solver_decisions);
+      ("cex_hits", Json.Int s.cex_hits);
+      ("model_reuses", Json.Int s.model_reuses);
       ("timeouts", Json.Int s.timeouts);
       ("cache_hits", Json.Int s.cache_hits);
       ("cache_misses", Json.Int s.cache_misses);

@@ -109,7 +109,7 @@ let feed b (ev : Instrument.event) =
              env = [];
            })
   | Symex_done { index; ticks; paths_completed; paths_pruned; solver_calls;
-                 timed_out } ->
+                 solver_decisions; cex_hits; model_reuses; timed_out } ->
       push b
         (Span
            {
@@ -125,9 +125,14 @@ let feed b (ev : Instrument.event) =
                  ("paths_completed", Json.Int paths_completed);
                  ("paths_pruned", Json.Int paths_pruned);
                  ("solver_calls", Json.Int solver_calls);
+                 ("cex_hits", Json.Int cex_hits);
+                 ("model_reuses", Json.Int model_reuses);
                  ("timed_out", Json.Bool timed_out);
                ];
-             env = [];
+             env =
+               (* executed work depends on the cex-cache toggle, so it
+                  must strip away like cache traffic does *)
+               [ ("solver_decisions", Json.Int solver_decisions) ];
            })
   | Cache_hit { stage; key } | Cache_miss { stage; key } ->
       let hit = match ev with Instrument.Cache_hit _ -> true | _ -> false in

@@ -7,7 +7,12 @@ type outcome = Sat of assignment | Unsat | Unknown
 exception Budget
 
 (* Variable ordering: smaller domain first, ties broken by occurrence
-   count (more occurrences = more constraining = earlier). *)
+   count (more occurrences = more constraining = earlier), then by vid.
+   The vid tiebreaker is load-bearing: without it, equal-keyed vars
+   kept whatever order [Hashtbl.fold] produced them in, which is an
+   implementation detail of the stdlib hash function — any change
+   there would silently reorder the search and with it every generated
+   test. *)
 let order_vars constraints =
   let occ = Hashtbl.create 32 in
   let bump v =
@@ -25,60 +30,230 @@ let order_vars constraints =
     constraints;
   let vs = Hashtbl.fold (fun _ v acc -> v :: acc) all [] in
   let key v =
-    (Array.length v.Term.domain, - (try Hashtbl.find occ v.Term.vid with Not_found -> 0))
+    ( Array.length v.Term.domain,
+      - (try Hashtbl.find occ v.Term.vid with Not_found -> 0),
+      v.Term.vid )
   in
   List.sort (fun a b -> compare (key a) (key b)) vs
 
-let solve_with_stats ?(max_decisions = 2_000_000) ?(rotate = 0) constraints =
+(* ----- the naive reference search ----- *)
+
+(* Re-evaluates every constraint after every assignment. Kept as the
+   executable specification of the solver: the watched-constraint
+   search below must agree with it bit for bit (outcome, model,
+   decision and conflict counts) — it only skips re-evaluations whose
+   verdict cannot have changed. The qcheck suite holds the two to that
+   contract. *)
+let naive_search ~max_decisions ~rotate constraints =
+  let vars = Array.of_list (order_vars constraints) in
+  let model : assignment = Hashtbl.create 32 in
+  let decisions = ref 0 and conflicts = ref 0 in
+  let env vid = Hashtbl.find_opt model vid in
+  let consistent () =
+    List.for_all
+      (fun c -> match Term.peval env c with Some 0 -> false | _ -> true)
+      constraints
+  in
+  let n = Array.length vars in
+  let rec assign i =
+    if i >= n then true
+    else begin
+      let v = vars.(i) in
+      let dom = v.Term.domain in
+      let len = Array.length dom in
+      let start = Term.rotate_index ~rotate ~vid:v.Term.vid len in
+      let rec try_values j =
+        if j >= len then begin
+          Hashtbl.remove model v.Term.vid;
+          incr conflicts;
+          false
+        end
+        else begin
+          incr decisions;
+          if !decisions > max_decisions then raise Budget;
+          Hashtbl.replace model v.Term.vid dom.((start + j) mod len);
+          if consistent () && assign (i + 1) then true else try_values (j + 1)
+        end
+      in
+      try_values 0
+    end
+  in
+  let outcome =
+    try if assign 0 then Sat model else Unsat with Budget -> Unknown
+  in
+  (outcome, { decisions = !decisions; conflicts = !conflicts })
+
+let prefilter constraints =
   (* Drop constant-true constraints up front; fail fast on constant false. *)
   let constraints = List.filter (fun c -> not (Term.is_true c)) constraints in
-  if List.exists Term.is_false constraints then (Unsat, { decisions = 0; conflicts = 0 })
-  else begin
-    let vars = Array.of_list (order_vars constraints) in
-    let model : assignment = Hashtbl.create 32 in
-    let decisions = ref 0 and conflicts = ref 0 in
-    let env vid = Hashtbl.find_opt model vid in
-    (* Constraints sorted so that those over early variables are checked
-       first; we simply re-check all still-undetermined ones. *)
-    let consistent () =
-      List.for_all
-        (fun c -> match Term.peval env c with Some 0 -> false | _ -> true)
-        constraints
-    in
-    let n = Array.length vars in
-    let rec assign i =
-      if i >= n then true
+  if List.exists Term.is_false constraints then None else Some constraints
+
+let solve_naive_with_stats ?(max_decisions = 2_000_000) ?(rotate = 0)
+    constraints =
+  match prefilter constraints with
+  | None -> (Unsat, { decisions = 0; conflicts = 0 })
+  | Some constraints -> naive_search ~max_decisions ~rotate constraints
+
+(* ----- the watched-constraint search ----- *)
+
+(* Same search, minus the wasted work: after assigning variable [v],
+   only constraints that mention [v] can change their partial-eval
+   verdict, so only those are re-checked ("watched constraints").
+   Values that violate a unary constraint on [v] are pre-screened once
+   per solve instead of re-discovered on every backtrack. Decision and
+   conflict counting is untouched — pruned values still cost a
+   decision, exactly as they do when the naive search tries and
+   rejects them — so budgets, Unknown cut-offs and value rotation are
+   bit-for-bit those of the reference (the qcheck suite holds the
+   hint-free search to that contract).
+
+   [?hint] warm-starts the search: for each variable whose hinted
+   value lies in its domain, that value is tried first and the rest of
+   the domain follows in the usual rotated order. The search stays
+   complete — the verdict cannot change, only the order in which the
+   same assignments are visited (and with it the decision count and,
+   for Sat, which model is found first). Callers that need a specific
+   model order (test emission) must not pass a hint. *)
+let solve_with_stats ?(max_decisions = 2_000_000) ?(rotate = 0) ?hint
+    constraints =
+  match prefilter constraints with
+  | None -> (Unsat, { decisions = 0; conflicts = 0 })
+  | Some constraints ->
+      let empty _ = None in
+      if List.exists (fun c -> Term.peval empty c = Some 0) constraints then
+        (* a ground-false constraint that is not syntactically [Const 0]
+           (only raw-constructed terms can do this — smart constructors
+           fold it away): no variable would ever watch it, so defer to
+           the reference search, whose accounting defines this case *)
+        naive_search ~max_decisions ~rotate constraints
       else begin
-        let v = vars.(i) in
-        let dom = v.Term.domain in
-        let len = Array.length dom in
-        (* Value-order rotation: different [rotate] inputs bias the
-           search towards different corners of the space, the way
-           Klee's value assignment varies per path (§4.3's observation
-           that similar values are chosen "unless strictly
-           constrained" is about exactly this bias). *)
-        let start = Term.rotate_index ~rotate ~vid:v.Term.vid len in
-        let rec try_values j =
-          if j >= len then begin
-            Hashtbl.remove model v.Term.vid;
-            incr conflicts;
-            false
-          end
+        let cs = Array.of_list constraints in
+        let vars = Array.of_list (order_vars constraints) in
+        let n = Array.length vars in
+        let model : assignment = Hashtbl.create 32 in
+        let decisions = ref 0 and conflicts = ref 0 in
+        let env vid = Hashtbl.find_opt model vid in
+        let pos = Hashtbl.create (max 16 (2 * n)) in
+        Array.iteri (fun i v -> Hashtbl.replace pos v.Term.vid i) vars;
+        (* watchers.(i): indices of non-unary constraints mentioning
+           vars.(i), in constraint order; unary constraints instead
+           pre-screen the domain below *)
+        let watchers = Array.make (max 1 n) [] in
+        let unary = Array.make (max 1 n) [] in
+        Array.iteri
+          (fun ci c ->
+            match Term.vars c with
+            | [ v ] ->
+                let i = Hashtbl.find pos v.Term.vid in
+                unary.(i) <- ci :: unary.(i)
+            | vs ->
+                List.iter
+                  (fun v ->
+                    let i = Hashtbl.find pos v.Term.vid in
+                    watchers.(i) <- ci :: watchers.(i))
+                  vs)
+          cs;
+        Array.iteri (fun i l -> watchers.(i) <- List.rev l) watchers;
+        let admissible =
+          Array.mapi
+            (fun i v ->
+              match unary.(i) with
+              | [] -> None
+              | us ->
+                  Some
+                    (Array.map
+                       (fun value ->
+                         let env1 vid =
+                           if vid = v.Term.vid then Some value else None
+                         in
+                         List.for_all
+                           (fun ci -> Term.peval env1 cs.(ci) <> Some 0)
+                           us)
+                       v.Term.domain))
+            vars
+        in
+        (* val_order.(i).(j): the domain index tried j-th for vars.(i).
+           Without a hint this is the rotated identity the naive search
+           uses; a hinted value jumps to the front and the rotated
+           order follows with it removed. *)
+        let val_order =
+          Array.map
+            (fun v ->
+              let dom = v.Term.domain in
+              let len = Array.length dom in
+              let start = Term.rotate_index ~rotate ~vid:v.Term.vid len in
+              let base = Array.init len (fun j -> (start + j) mod len) in
+              match hint with
+              | None -> base
+              | Some h -> (
+                  match Hashtbl.find_opt h v.Term.vid with
+                  | None -> base
+                  | Some hv ->
+                      let hi = ref (-1) in
+                      Array.iteri
+                        (fun k x -> if !hi < 0 && x = hv then hi := k)
+                        dom;
+                      if !hi < 0 then base
+                      else begin
+                        let order = Array.make len !hi in
+                        let k = ref 1 in
+                        Array.iter
+                          (fun idx ->
+                            if idx <> !hi then begin
+                              order.(!k) <- idx;
+                              incr k
+                            end)
+                          base;
+                        order
+                      end))
+            vars
+        in
+        let rec assign i =
+          if i >= n then true
           else begin
-            incr decisions;
-            if !decisions > max_decisions then raise Budget;
-            Hashtbl.replace model v.Term.vid dom.((start + j) mod len);
-            if consistent () && assign (i + 1) then true else try_values (j + 1)
+            let v = vars.(i) in
+            let dom = v.Term.domain in
+            let len = Array.length dom in
+            let ord = val_order.(i) in
+            let ok = admissible.(i) in
+            let ws = watchers.(i) in
+            let rec try_values j =
+              if j >= len then begin
+                Hashtbl.remove model v.Term.vid;
+                incr conflicts;
+                false
+              end
+              else begin
+                incr decisions;
+                if !decisions > max_decisions then raise Budget;
+                let idx = ord.(j) in
+                let allowed =
+                  match ok with None -> true | Some a -> a.(idx)
+                in
+                if not allowed then try_values (j + 1)
+                else begin
+                  Hashtbl.replace model v.Term.vid dom.(idx);
+                  let consistent =
+                    List.for_all
+                      (fun ci ->
+                        match Term.peval env cs.(ci) with
+                        | Some 0 -> false
+                        | _ -> true)
+                      ws
+                  in
+                  if consistent && assign (i + 1) then true
+                  else try_values (j + 1)
+                end
+              end
+            in
+            try_values 0
           end
         in
-        try_values 0
+        let outcome =
+          try if assign 0 then Sat model else Unsat with Budget -> Unknown
+        in
+        (outcome, { decisions = !decisions; conflicts = !conflicts })
       end
-    in
-    let outcome =
-      try if assign 0 then Sat model else Unsat with Budget -> Unknown
-    in
-    (outcome, { decisions = !decisions; conflicts = !conflicts })
-  end
 
 let solve ?max_decisions ?rotate constraints =
   fst (solve_with_stats ?max_decisions ?rotate constraints)

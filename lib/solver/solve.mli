@@ -1,11 +1,18 @@
 (** Backtracking search over finite-domain constraint sets.
 
     The solver assigns variables in most-constrained-first order and
-    prunes with partial evaluation: after each assignment, every
-    constraint is re-evaluated under the partial model and the branch is
-    abandoned as soon as one is determined false. Domains are small by
-    construction (the Eywa pipeline bounds every input type), so this is
-    complete and fast in practice. *)
+    prunes with partial evaluation: after each assignment the branch is
+    abandoned as soon as some constraint is determined false under the
+    partial model. The production search ({!solve_with_stats}) indexes
+    constraints by the variables they mention, so each assignment only
+    re-evaluates the constraints watching that variable, and values
+    ruled out by unary constraints are pre-screened once per solve; a
+    naive reference that re-evaluates everything is kept as
+    {!solve_naive_with_stats} and the two are held bit-for-bit
+    equivalent (outcome, model, decision and conflict counts) by the
+    test suite. Domains are small by construction (the Eywa pipeline
+    bounds every input type), so this is complete and fast in
+    practice. *)
 
 type assignment = (int, int) Hashtbl.t
 (** Maps variable id to its chosen value. *)
@@ -26,7 +33,33 @@ val solve : ?max_decisions:int -> ?rotate:int -> Term.t list -> outcome
     concrete tests it emits, mirroring Klee's per-path value bias. *)
 
 val solve_with_stats :
+  ?max_decisions:int ->
+  ?rotate:int ->
+  ?hint:assignment ->
+  Term.t list ->
+  outcome * stats
+(** Like {!solve}, also returning search statistics. [hint]
+    warm-starts the search: each variable whose hinted value is in its
+    domain tries that value first, with the rest of the domain
+    following in the usual rotated order. The search stays complete,
+    so the verdict is that of the hint-free search; only the decision
+    count and (for Sat) the first model found may differ. The symbolic
+    executor hints feasibility probes with the parent path's cached
+    counterexample — never the model-producing solve, whose value
+    order is what diversifies emitted tests. *)
+
+val solve_naive_with_stats :
   ?max_decisions:int -> ?rotate:int -> Term.t list -> outcome * stats
+(** The reference search: identical ordering and accounting to
+    {!solve_with_stats}, but re-evaluates every constraint after every
+    assignment. Kept as the executable specification the watched search
+    is tested against; not used on the hot path. *)
+
+val order_vars : Term.t list -> Term.var list
+(** The search's variable order: ascending domain size, then descending
+    occurrence count, then ascending [vid]. The [vid] tiebreaker makes
+    the order a pure function of the constraint set (never of
+    [Hashtbl] iteration order). Exposed for the regression test. *)
 
 val is_sat : ?max_decisions:int -> Term.t list -> bool
 (** [is_sat cs] is [true] iff [solve cs] is [Sat _]. An [Unknown]

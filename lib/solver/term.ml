@@ -26,6 +26,43 @@ let counter_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let counter () = Domain.DLS.get counter_key
 
+(* Hash-consing state, a sibling of [counter_key]: the intern table
+   assigns every structurally distinct term a dense id, and the other
+   tables memoize by that id. All of it is keyed on vids, so it must
+   live and die with the id allocator — [with_fresh_ids]/[reset_ids]
+   swap in a fresh state along with the fresh counter, or a recycled
+   vid would alias a stale entry. *)
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( = )
+
+  (* deeper than the stdlib default so big path-condition conjuncts
+     don't all land in one bucket; still bounded, so O(1) per call *)
+  let hash t = Hashtbl.hash_param 60 120 t
+end)
+
+type intern_state = {
+  ids : int Tbl.t;  (* term -> dense intern id *)
+  mutable next_id : int;
+  fvs : (int, var list) Hashtbl.t;  (* intern id -> free vars *)
+  conses : (int * int, int) Hashtbl.t;  (* (head id, tail key) -> list key *)
+  mutable next_key : int;  (* list keys; 0 is reserved for [] *)
+}
+
+let fresh_intern () =
+  {
+    ids = Tbl.create 512;
+    next_id = 0;
+    fvs = Hashtbl.create 512;
+    conses = Hashtbl.create 512;
+    next_key = 1;
+  }
+
+let intern_key = Domain.DLS.new_key fresh_intern
+
+let intern_state () = Domain.DLS.get intern_key
+
 let fresh_var ?(name = "v") sort domain =
   assert (Array.length domain > 0);
   let c = counter () in
@@ -35,12 +72,30 @@ let fresh_var ?(name = "v") sort domain =
 
 let var_count () = !(counter ())
 
-let reset_ids () = counter () := 0
+let reset_ids () =
+  counter () := 0;
+  Domain.DLS.set intern_key (fresh_intern ())
 
 let with_fresh_ids f =
   let saved = Domain.DLS.get counter_key in
+  let saved_intern = Domain.DLS.get intern_key in
   Domain.DLS.set counter_key (ref 0);
-  Fun.protect ~finally:(fun () -> Domain.DLS.set counter_key saved) f
+  Domain.DLS.set intern_key (fresh_intern ());
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set counter_key saved;
+      Domain.DLS.set intern_key saved_intern)
+    f
+
+let intern_id t =
+  let s = intern_state () in
+  match Tbl.find_opt s.ids t with
+  | Some id -> id
+  | None ->
+      let id = s.next_id in
+      s.next_id <- id + 1;
+      Tbl.add s.ids t id;
+      id
 
 let default_domain = function
   | Sbool -> [| 0; 1 |]
@@ -150,7 +205,7 @@ let ite c a b =
 
 let conj ts = List.fold_left and_ tt ts
 
-let vars t =
+let compute_vars t =
   let seen = Hashtbl.create 16 in
   let acc = ref [] in
   let rec go = function
@@ -168,6 +223,37 @@ let vars t =
   in
   go t;
   List.rev !acc
+
+let vars t =
+  let s = intern_state () in
+  let id = intern_id t in
+  match Hashtbl.find_opt s.fvs id with
+  | Some vs -> vs
+  | None ->
+      let vs = compute_vars t in
+      Hashtbl.add s.fvs id vs;
+      vs
+
+(* Canonical constraint-list keys: the empty list is 0 and every
+   distinct (head term, tail key) pair gets a dense id, so two
+   structurally equal constraint lists built in the same id epoch get
+   the same key. Path conditions grow by consing, so re-keying a pc
+   after one more conjunct costs a single table lookup per element,
+   all O(1). *)
+let pc_key_cons c tail_key =
+  let s = intern_state () in
+  let pair = (intern_id c, tail_key) in
+  match Hashtbl.find_opt s.conses pair with
+  | Some k -> k
+  | None ->
+      let k = s.next_key in
+      s.next_key <- k + 1;
+      Hashtbl.add s.conses pair k;
+      k
+
+let rec pc_key = function
+  | [] -> 0
+  | c :: rest -> pc_key_cons c (pc_key rest)
 
 let rec eval env = function
   | Const n -> n

@@ -9,6 +9,7 @@ type config = {
   timeout : float;
   max_solver_decisions : int;
   string_bound : int;
+  cex_cache : bool;
 }
 
 let default_config =
@@ -18,6 +19,7 @@ let default_config =
     timeout = 30.0;
     max_solver_decisions = 200_000;
     string_bound = 8;
+    cex_cache = true;
   }
 
 type path = {
@@ -31,6 +33,9 @@ type stats = {
   paths_completed : int;
   paths_pruned : int;
   solver_calls : int;
+  solver_decisions : int;
+  cex_hits : int;
+  model_reuses : int;
   timed_out : bool;
   ticks_used : int;
 }
@@ -44,6 +49,11 @@ type ctx = {
   mutable completed : int;
   mutable pruned : int;
   mutable solver_calls : int;
+  mutable solver_decisions : int;
+  mutable cex_hits : int;
+  mutable model_reuses : int;
+  cex_memo : (int, bool) Hashtbl.t;
+  cex_models : (int, Solve.assignment) Hashtbl.t;
   mutable stop : bool;
   mutable timed_out : bool;
 }
@@ -84,13 +94,154 @@ let charge_solver ctx (stats : Solve.stats) pc =
   ctx.checks <-
     ctx.checks + (stats.decisions * (1 + List.length pc) / work_per_tick)
 
+(* The slice of [head :: parent] that can decide its satisfiability
+   when [parent] is already known sat: [head] plus every parent
+   conjunct transitively sharing a variable with it. Constraints
+   outside the slice mention none of its variables, so they and the
+   slice are satisfied or refuted independently — and the ones outside
+   are a sub-conjunction of the sat parent, hence sat. Slice order is a
+   pure function of the pc list (fixpoint over it in list order), never
+   of hash order; {!Term.vars} is memoized so the walk is cheap. *)
+let slice_for head parent =
+  let vs = Hashtbl.create 16 in
+  let add_vars t =
+    List.iter (fun v -> Hashtbl.replace vs v.Term.vid ()) (Term.vars t)
+  in
+  add_vars head;
+  let touches c =
+    List.exists (fun v -> Hashtbl.mem vs v.Term.vid) (Term.vars c)
+  in
+  let picked = ref [] in
+  let remaining = ref parent in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    remaining :=
+      List.filter
+        (fun c ->
+          if touches c then begin
+            picked := c :: !picked;
+            add_vars c;
+            changed := true;
+            false
+          end
+          else true)
+        !remaining
+  done;
+  head :: List.rev !picked
+
+(* A slice model extended with the parent model's values for the
+   variables outside the slice satisfies the whole pc: slice conjuncts
+   see only slice variables (all assigned by the slice solve), the rest
+   see only variables the parent model already satisfied them on. The
+   stored invariant — every [cex_models] entry, with [domain.(0)]
+   defaults for missing variables, satisfies its key's pc — is
+   maintained, which is what the reuse check below leans on. *)
+let combine_models slice_model parent_model =
+  match parent_model with
+  | None -> slice_model
+  | Some pm ->
+      let t = Hashtbl.copy pm in
+      Hashtbl.iter (fun vid v -> Hashtbl.replace t vid v) slice_model;
+      t
+
+(* Branch-feasibility probe with a KLEE-style per-run counterexample
+   cache. The path condition only ever grows by one conjunct, so before
+   solving [head :: parent] we (1) consult a sat/unsat memo keyed by
+   {!Term.pc_key}, (2) re-check the parent path's cached model against
+   just [head] — the usual case: of a branch's two probes (c and not c),
+   the parent model decides at least one — and only then (3) solve.
+   Step (3) leans on the cache twice more: the memo's record that
+   [parent] is sat licenses solving only the head-connected slice
+   ({!slice_for} — the rest of the pc is a sub-conjunction of the sat
+   parent and shares no variable with the slice), and the parent model
+   warm-starts the search as a value-order hint (it already satisfies
+   every conjunct but [head], so the hinted walk lands almost
+   immediately; the search stays complete, so the verdict is
+   unchanged). Multi-way forks are why step (3) dominates: their
+   guards are mutually exclusive, so the parent model decides exactly
+   one of N probes and the other N-1 — most proving the guard
+   infeasible — all miss step (2).
+
+   The bookkeeping (memo/model lookups, hit counters, the sliced solve
+   on a miss, tick charges) runs unconditionally; [config.cex_cache]
+   only decides whether the additional hint-free whole-pc solve — the
+   work a cache-free run would execute for the probe — runs too.
+   Verdicts, cached models and tick charges always come from the
+   cache-assisted path in both modes, which keeps ticks — and with
+   them timeout cut-offs, path sets and emitted tests — byte-identical
+   with the cache on or off, while [solver_decisions] counts one
+   hint-free whole-pc solve per probe with the cache off versus only
+   the cheap sliced misses with it on: the real solver work the cache
+   saves. A cache hit is charged one tick-decision; a miss is charged
+   the sliced solve's actual decision count. *)
 let is_sat ctx pc =
   ctx.solver_calls <- ctx.solver_calls + 1;
-  let outcome, stats =
-    Solve.solve_with_stats ~max_decisions:ctx.config.max_solver_decisions pc
-  in
-  charge_solver ctx stats pc;
-  match outcome with Solve.Sat _ -> true | Solve.Unsat | Solve.Unknown -> false
+  match pc with
+  | [] -> true
+  | head :: parent ->
+      let kparent = Term.pc_key parent in
+      let key = Term.pc_key_cons head kparent in
+      let count_unhinted () =
+        let _, stats =
+          Solve.solve_with_stats ~max_decisions:ctx.config.max_solver_decisions
+            pc
+        in
+        ctx.solver_decisions <- ctx.solver_decisions + stats.Solve.decisions
+      in
+      let hit sat =
+        charge_solver ctx { Solve.decisions = 1; conflicts = 0 } pc;
+        if not ctx.config.cex_cache then count_unhinted ();
+        sat
+      in
+      (match Hashtbl.find_opt ctx.cex_memo key with
+      | Some sat ->
+          ctx.cex_hits <- ctx.cex_hits + 1;
+          hit sat
+      | None -> (
+          let parent_model = Hashtbl.find_opt ctx.cex_models kparent in
+          let reused =
+            match parent_model with
+            | Some m when Solve.check m [ head ] -> Some m
+            | _ -> None
+          in
+          match reused with
+          | Some m ->
+              ctx.model_reuses <- ctx.model_reuses + 1;
+              Hashtbl.replace ctx.cex_memo key true;
+              Hashtbl.replace ctx.cex_models key m;
+              hit true
+          | None ->
+              let parent_sat =
+                match parent with
+                | [] -> true
+                | _ -> Hashtbl.find_opt ctx.cex_memo kparent = Some true
+              in
+              let target = if parent_sat then slice_for head parent else pc in
+              let outcome, stats =
+                Solve.solve_with_stats ?hint:parent_model
+                  ~max_decisions:ctx.config.max_solver_decisions target
+              in
+              charge_solver ctx stats target;
+              if ctx.config.cex_cache then
+                ctx.solver_decisions <-
+                  ctx.solver_decisions + stats.Solve.decisions
+              else
+                (* cache off: count the hint-free whole-pc solve this
+                   probe would have cost instead, so off-vs-on compares
+                   the cache-free world's work against the cache's *)
+                count_unhinted ();
+              (match outcome with
+              | Solve.Sat m ->
+                  let m_full =
+                    if parent_sat then combine_models m parent_model else m
+                  in
+                  Hashtbl.replace ctx.cex_memo key true;
+                  Hashtbl.replace ctx.cex_models key m_full;
+                  true
+              | Solve.Unsat | Solve.Unknown ->
+                  Hashtbl.replace ctx.cex_memo key false;
+                  false)))
 
 (* ----- environment (persistent) ----- *)
 
@@ -128,6 +279,11 @@ let pop_scope st =
 
 (* ----- path completion ----- *)
 
+(* The model-producing solve. Never consults the counterexample cache:
+   the [~rotate:ctx.completed] value-order rotation is what diversifies
+   the emitted tests, and a cached probe model would short-circuit it —
+   reusing one here would change the tests the cache exists to leave
+   untouched. *)
 let complete ctx st ~ret ~error =
   if not (check_budget ctx) then begin
     ctx.solver_calls <- ctx.solver_calls + 1;
@@ -135,6 +291,7 @@ let complete ctx st ~ret ~error =
       Solve.solve_with_stats ~max_decisions:ctx.config.max_solver_decisions
         ~rotate:ctx.completed st.pc
     in
+    ctx.solver_decisions <- ctx.solver_decisions + stats.Solve.decisions;
     charge_solver ctx stats st.pc;
     match outcome with
     | Solve.Sat model ->
@@ -612,6 +769,11 @@ let run ?(config = default_config) ?(natives = []) program ~entry ~args ~assumes
       completed = 0;
       pruned = 0;
       solver_calls = 0;
+      solver_decisions = 0;
+      cex_hits = 0;
+      model_reuses = 0;
+      cex_memo = Hashtbl.create 256;
+      cex_models = Hashtbl.create 256;
       stop = false;
       timed_out = false;
     }
@@ -644,6 +806,9 @@ let run ?(config = default_config) ?(natives = []) program ~entry ~args ~assumes
       paths_completed = ctx.completed;
       paths_pruned = ctx.pruned;
       solver_calls = ctx.solver_calls;
+      solver_decisions = ctx.solver_decisions;
+      cex_hits = ctx.cex_hits;
+      model_reuses = ctx.model_reuses;
       timed_out = ctx.timed_out;
       ticks_used = ctx.checks;
     } )

@@ -27,6 +27,14 @@ type config = {
           independent of machine speed or pool contention *)
   max_solver_decisions : int;
   string_bound : int;  (** buffer size for locally declared strings *)
+  cex_cache : bool;
+      (** short-circuit branch-feasibility probes through the per-run
+          counterexample cache (default [true]). The cache's
+          bookkeeping — hit detection, counters, tick charges — runs
+          either way, so paths, ticks and emitted tests are
+          byte-identical on or off; only the executed solver work
+          ([solver_decisions]) differs. Model-producing solves never
+          consult the cache. *)
 }
 
 val default_config : config
@@ -42,6 +50,19 @@ type stats = {
   paths_completed : int;
   paths_pruned : int;  (** infeasible or unsolvable branches *)
   solver_calls : int;
+  solver_decisions : int;
+      (** the work measure the counterexample cache reduces; the only
+          stats field that depends on [config.cex_cache]. With the
+          cache on: decisions of the (parent-model-hinted) solves that
+          actually ran. With the cache off: decisions of one hint-free
+          solve per feasibility probe — what a cache-free run executes
+          — so off-vs-on is an apples-to-apples work comparison *)
+  cex_hits : int;
+      (** feasibility probes answered by the sat/unsat memo;
+          deterministic and identical whether the cache is on or off *)
+  model_reuses : int;
+      (** probes answered by re-checking the parent path's cached model
+          against the new conjunct; deterministic, cache on or off *)
   timed_out : bool;
   ticks_used : int;
       (** exploration ticks consumed against the deterministic budget —

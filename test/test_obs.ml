@@ -281,6 +281,9 @@ let qcheck_collector_cross_domain =
                           paths_completed = 1;
                           paths_pruned = 0;
                           solver_calls = 0;
+                          solver_decisions = 0;
+                          cex_hits = 0;
+                          model_reuses = 0;
                           timed_out = false;
                         });
                    x)

@@ -48,8 +48,11 @@ let full_fingerprint (s : Synthesis.t) =
             (match r.stats with
             | None -> "-"
             | Some st ->
-                Printf.sprintf "%d/%d/%d/%b/%d" st.Eywa_symex.Exec.paths_completed
+                Printf.sprintf "%d/%d/%d/%d/%d/%d/%b/%d"
+                  st.Eywa_symex.Exec.paths_completed
                   st.Eywa_symex.Exec.paths_pruned st.Eywa_symex.Exec.solver_calls
+                  st.Eywa_symex.Exec.solver_decisions
+                  st.Eywa_symex.Exec.cex_hits st.Eywa_symex.Exec.model_reuses
                   st.Eywa_symex.Exec.timed_out st.Eywa_symex.Exec.ticks_used)
           :: List.map Testcase.to_string r.tests)
         s.results)
@@ -133,6 +136,9 @@ let test_key_sensitivity () =
     (key { cfg with max_solver_decisions = cfg.max_solver_decisions + 1 });
   differs "samples_per_path"
     (key { cfg with samples_per_path = cfg.samples_per_path + 1 });
+  (* tests are identical either way, but the stored solver_decisions
+     stat depends on the toggle *)
+  differs "cex_cache" (key { cfg with cex_cache = not cfg.cex_cache });
   differs "alphabet" (key { cfg with alphabet = [ 'a'; 'b' ] });
   differs "draw index" (key ~index:1 cfg);
   differs "oracle name" (key ~oracle_name:"other" cfg);

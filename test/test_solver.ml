@@ -3,6 +3,7 @@ module Solve = Eywa_solver.Solve
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
 
 let bvar name = Term.fresh_var ~name Term.Sbool [| 0; 1 |]
 let ivar ?(domain = Array.init 8 (fun i -> i)) name =
@@ -191,6 +192,179 @@ let prop_unsat_means_no_assignment =
             v.Term.domain
       | Solve.Sat _ | Solve.Unknown -> true)
 
+(* ----- hash-consing ----- *)
+
+let test_hash_consing () =
+  Term.with_fresh_ids (fun () ->
+      let x = ivar "x" and y = ivar "y" in
+      let mk () = Term.eq (Term.add (Term.var x) (Term.var y)) (Term.const 5) in
+      let a = mk () and b = mk () in
+      check_int "equal terms intern to the same id" (Term.intern_id a)
+        (Term.intern_id b);
+      let c = Term.lt (Term.var x) (Term.var y) in
+      check "distinct terms intern to distinct ids" true
+        (Term.intern_id a <> Term.intern_id c);
+      check "memoized vars = structural vars" true
+        (Term.vars a = Term.vars b && List.length (Term.vars a) = 2);
+      check_int "pc_key [] is 0" 0 (Term.pc_key []);
+      check_int "equal lists, equal keys"
+        (Term.pc_key [ a; c ])
+        (Term.pc_key [ b; c ]);
+      check "different lists, different keys" true
+        (Term.pc_key [ a; c ] <> Term.pc_key [ c; a ]);
+      check "prefix differs from whole" true
+        (Term.pc_key [ c ] <> Term.pc_key [ a; c ]);
+      check_int "pc_key_cons is the incremental step"
+        (Term.pc_key [ a; c ])
+        (Term.pc_key_cons a (Term.pc_key [ c ])))
+
+(* ----- order_vars determinism (PR-5 satellite regression) ----- *)
+
+let test_order_vars_vid_tiebreak () =
+  (* eight bool vars, each occurring once in one constraint: domain
+     size and occurrence count tie for all of them, so before the fix
+     the order fell back to Hashtbl.fold order over vids — an artifact
+     of the stdlib hash function. Referencing them scrambled must
+     still yield ascending vids. *)
+  let vs = Array.init 8 (fun i -> bvar (Printf.sprintf "t%d" i)) in
+  let scrambled = [ 5; 2; 7; 0; 6; 3; 1; 4 ] in
+  let c =
+    List.fold_left
+      (fun acc i -> Term.or_ acc (Term.var vs.(i)))
+      (Term.var vs.(List.hd scrambled))
+      (List.tl scrambled)
+  in
+  let order = List.map (fun v -> v.Term.vid) (Solve.order_vars [ c ]) in
+  let sorted = List.sort compare order in
+  check "tied vars come out in ascending vid order" true (order = sorted);
+  check_int "all eight vars ordered" 8 (List.length order);
+  (* a var with more occurrences still outranks the tie *)
+  let busy = bvar "busy" in
+  let cs =
+    [
+      Term.or_ c (Term.var busy);
+      Term.or_ (Term.var busy) (Term.var vs.(0));
+      Term.or_ (Term.var busy) (Term.var vs.(1));
+    ]
+  in
+  match Solve.order_vars cs with
+  | first :: _ ->
+      check_int "most-occurring var first" busy.Term.vid first.Term.vid
+  | [] -> Alcotest.fail "expected ordered vars"
+
+(* ----- watched solver = naive reference (PR-5 tentpole) ----- *)
+
+let model_to_list m =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) m [])
+
+let outcomes_equal a b =
+  match (a, b) with
+  | Solve.Sat m1, Solve.Sat m2 -> model_to_list m1 = model_to_list m2
+  | Solve.Unsat, Solve.Unsat | Solve.Unknown, Solve.Unknown -> true
+  | _ -> false
+
+let prop_watched_equals_naive =
+  QCheck2.Test.make ~count:300
+    ~name:"watched solver = naive reference (outcome, model, stats)"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 5) (gen_term shared_vars))
+        (int_range 0 3) (int_range 1 2))
+    (fun (cs, rotate, budget_sel) ->
+      (* a tiny budget exercises Unknown parity, a large one Sat/Unsat *)
+      let max_decisions = if budget_sel = 1 then 25 else 100_000 in
+      let o1, s1 = Solve.solve_with_stats ~max_decisions ~rotate cs in
+      let o2, s2 = Solve.solve_naive_with_stats ~max_decisions ~rotate cs in
+      outcomes_equal o1 o2
+      && s1.Solve.decisions = s2.Solve.decisions
+      && s1.Solve.conflicts = s2.Solve.conflicts)
+
+(* A hint only reorders the values the complete search visits, so it
+   may change which model comes out first but never the verdict, and a
+   hinted Sat model still satisfies the constraints. The executor's
+   probe path depends on both halves. *)
+let prop_hinted_solve_sound =
+  QCheck2.Test.make ~count:300
+    ~name:"hinted solve: same verdict as hint-free, models satisfy"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 5) (gen_term shared_vars))
+        (list_size (int_range 0 3) (int_range (-4) 12)))
+    (fun (cs, hint_vals) ->
+      let hint = Hashtbl.create 8 in
+      List.iteri
+        (fun i value ->
+          let v = List.nth shared_vars (i mod List.length shared_vars) in
+          Hashtbl.replace hint v.Term.vid value)
+        hint_vals;
+      let o1, _ = Solve.solve_with_stats ~max_decisions:100_000 ~hint cs in
+      let o2, _ = Solve.solve_with_stats ~max_decisions:100_000 cs in
+      match (o1, o2) with
+      | Solve.Sat m, Solve.Sat _ -> Solve.check m cs
+      | Solve.Unsat, Solve.Unsat | Solve.Unknown, Solve.Unknown -> true
+      | _ -> false)
+
+(* ----- counterexample cache: byte-identity on vs off ----- *)
+
+module Pipeline = Eywa_core.Pipeline
+module Model_def = Eywa_models.Model_def
+module Obs = Eywa_obs.Obs
+module Trace = Eywa_obs.Trace
+module Export = Eywa_obs.Export
+module Metrics = Eywa_obs.Metrics
+
+let oracle = Eywa_llm.Gpt.oracle ()
+
+let observed_synthesis ~cex_cache (m : Model_def.t) =
+  let ctx = Obs.create ~label:m.id () in
+  match
+    Model_def.synthesize ~obs:ctx ~k:3 ~timeout:2.0 ~jobs:2 ~cex_cache ~oracle
+      m
+  with
+  | Ok s -> (s, ctx)
+  | Error e -> Alcotest.fail e
+
+let test_cex_cache_byte_identity () =
+  let m = Eywa_models.Bgp_models.rr in
+  let s_on, ctx_on = observed_synthesis ~cex_cache:true m in
+  let s_off, ctx_off = observed_synthesis ~cex_cache:false m in
+  let tests (s : Pipeline.t) =
+    String.concat "\n"
+      (List.map Eywa_core.Testcase.to_string s.unique_tests
+      @ List.concat_map
+          (fun (r : Pipeline.model_result) ->
+            List.map Eywa_core.Testcase.to_string r.tests)
+          s.results)
+  in
+  check_string "generated tests byte-identical cache on vs off" (tests s_on)
+    (tests s_off);
+  let stripped ctx = Export.to_jsonl (Trace.strip (Obs.finish ctx)) in
+  check_string "stripped traces byte-identical cache on vs off"
+    (stripped ctx_on) (stripped ctx_off);
+  check_string "env-stripped metrics byte-identical cache on vs off"
+    (Metrics.expose ~strip_env:true (Obs.metrics ctx_on))
+    (Metrics.expose ~strip_env:true (Obs.metrics ctx_off));
+  (* the bookkeeping is identical; only executed solver work shrinks *)
+  let totals (s : Pipeline.t) =
+    List.fold_left
+      (fun (d, h, r, t) (res : Pipeline.model_result) ->
+        match res.stats with
+        | None -> (d, h, r, t)
+        | Some st ->
+            ( d + st.Eywa_symex.Exec.solver_decisions,
+              h + st.Eywa_symex.Exec.cex_hits,
+              r + st.Eywa_symex.Exec.model_reuses,
+              t + st.Eywa_symex.Exec.ticks_used ))
+      (0, 0, 0, 0) s.results
+  in
+  let d_on, h_on, r_on, t_on = totals s_on in
+  let d_off, h_off, r_off, t_off = totals s_off in
+  check_int "cex_hits identical on vs off" h_off h_on;
+  check_int "model_reuses identical on vs off" r_off r_on;
+  check_int "ticks identical on vs off" t_off t_on;
+  check "the cache is actually exercised" true (h_on + r_on > 0);
+  check "cache on executes fewer decisions" true (d_on < d_off)
+
 let suite =
   [
     Alcotest.test_case "constant folding" `Quick test_const_folding;
@@ -207,7 +381,15 @@ let suite =
     Alcotest.test_case "empty constraint set is sat" `Quick test_empty_constraints;
     Alcotest.test_case "constant false is unsat" `Quick test_constant_false;
     Alcotest.test_case "div/mod constraints solve" `Quick test_div_constraint;
+    Alcotest.test_case "hash-consing: intern ids and pc keys" `Quick
+      test_hash_consing;
+    Alcotest.test_case "order_vars breaks ties by vid" `Quick
+      test_order_vars_vid_tiebreak;
+    Alcotest.test_case "cex cache on/off byte-identity" `Quick
+      test_cex_cache_byte_identity;
     QCheck_alcotest.to_alcotest prop_solve_sound;
     QCheck_alcotest.to_alcotest prop_peval_agrees_with_eval;
     QCheck_alcotest.to_alcotest prop_unsat_means_no_assignment;
+    QCheck_alcotest.to_alcotest prop_watched_equals_naive;
+    QCheck_alcotest.to_alcotest prop_hinted_solve_sound;
   ]
